@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates (a scaled version of) one paper table or
+figure and asserts its shape before timing it, so a performance run is
+also a correctness run.  Scales are chosen to keep the full suite in the
+minutes range; the experiment drivers accept larger scales for
+paper-fidelity runs (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick_scale() -> float:
+    """Timeline compression used by scenario benchmarks."""
+    return 0.1

@@ -1,0 +1,61 @@
+"""Ablation: signaling countdown-threshold sensitivity (DESIGN.md §5).
+
+The countdown threshold decides how early a downstream resolver starts
+policing a signaled suspect (Section 3.3.1).  Too low (0) and the
+downstream waits until the upstream's patience is nearly gone --
+risking wholesale policing of the forwarder; the paper's choice (5)
+polices the culprit with half the countdown to spare.
+
+Each point reruns the Figure 9 NX scenario with a different threshold
+and reports the collateral damage to the forwarder's benign clients.
+"""
+
+import pytest
+
+from repro.experiments.fig9_signaling import collateral_damage, run_scenario
+
+SCALE = 0.1
+
+
+@pytest.mark.parametrize("threshold", [0, 5, 9])
+def test_countdown_threshold_sensitivity(benchmark, threshold):
+    def run():
+        import repro.experiments.fig9_signaling as fig9
+        from repro.experiments.common import AttackScenario, ScenarioConfig
+        from repro.experiments.fig8_resilience import (
+            paper_monitor_config,
+            paper_policy_templates,
+        )
+        from repro.experiments.fig9_signaling import _figure9_specs
+
+        config = ScenarioConfig(
+            seed=42,
+            duration=60.0 * SCALE,
+            channel_capacity=1000.0,
+            rr_channel_capacity=1000.0,
+            use_dcc=True,
+            dcc_on_forwarder=True,
+            dcc_signaling=True,
+            with_forwarder=True,
+            forwarded_clients=["heavy", "light", "attacker"],
+            monitor=paper_monitor_config(time_scale=SCALE),
+            policy_templates=paper_policy_templates(time_scale=SCALE),
+            countdown_threshold=threshold,
+            ff_instances=100,
+        )
+        scenario = AttackScenario(config)
+        scenario.add_clients(_figure9_specs("nxdomain", SCALE))
+        result = scenario.run()
+        window = (25.0 * SCALE, 55.0 * SCALE)
+        return {
+            "heavy": result.success_ratio("heavy", *window),
+            "light": result.success_ratio("light", *window),
+            "attacker": result.success_ratio("attacker", *window),
+        }
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    if threshold >= 5:
+        # Early reaction: innocents protected.
+        assert outcome["heavy"] > 0.7
+    # The attacker never profits, whatever the threshold.
+    assert outcome["attacker"] < 0.5

@@ -1,0 +1,83 @@
+"""End-to-end scheduler ablation: Figure 7 baselines inside the full DCC.
+
+Swaps the shim's scheduler while keeping everything else (resolver,
+monitor, policing, the WC attack) fixed, and measures what the benign
+clients experience.  The micro-ablation in test_ablation_schedulers.py
+shows the pathologies in isolation; this one shows them through the
+whole DNS stack.
+"""
+
+import pytest
+
+from repro.dcc.baselines import FifoScheduler, InputCentricFq, IoIsolatedFq
+from repro.experiments.common import AttackScenario, ScenarioConfig
+from repro.workloads.schedule import ClientSpec
+
+DURATION = 8.0
+CAPACITY = 300.0
+
+
+def run_with_scheduler(factory, seed=21):
+    config = ScenarioConfig(
+        seed=seed,
+        duration=DURATION,
+        channel_capacity=CAPACITY,
+        use_dcc=True,
+        scheduler_factory=factory,
+    )
+    scenario = AttackScenario(config)
+    scenario.add_clients([
+        ClientSpec("benign1", 0.0, DURATION, 40.0, "WC"),
+        ClientSpec("benign2", 0.0, DURATION, 40.0, "WC"),
+        ClientSpec("attacker", 1.0, DURATION, 600.0, "WC", is_attacker=True),
+    ])
+    result = scenario.run()
+    window = (2.0, DURATION - 0.5)
+    return {
+        "benign": min(
+            result.success_ratio("benign1", *window),
+            result.success_ratio("benign2", *window),
+        ),
+        "attacker_eff": sum(result.effective_qps["attacker"][2:8]) / 6,
+    }
+
+
+def test_mopifq_baseline(benchmark):
+    outcome = benchmark.pedantic(run_with_scheduler, args=(None,), rounds=1, iterations=1)
+    # Fair share is 100 each; benign demand 40 -> fully served.
+    assert outcome["benign"] > 0.9
+    assert outcome["attacker_eff"] < CAPACITY
+
+
+def test_fifo_scheduler_starves_benign(benchmark):
+    outcome = benchmark.pedantic(
+        run_with_scheduler,
+        args=(lambda: FifoScheduler(capacity=10_000, default_rate=CAPACITY),),
+        rounds=1, iterations=1,
+    )
+    # FIFO shares the channel proportionally to offered load: the
+    # attacker's 600 QPS swamps the benign 80.
+    assert outcome["benign"] < 0.75
+
+    mopi = run_with_scheduler(None)
+    assert mopi["benign"] > outcome["benign"] + 0.15
+
+
+def test_input_centric_also_fair_single_channel(benchmark):
+    """With one output channel, input-centric FQ is fine -- its failure
+    mode (Figure 7a) needs multiple channels; see the HOL ablation."""
+    outcome = benchmark.pedantic(
+        run_with_scheduler,
+        args=(lambda: InputCentricFq(per_source_depth=100, default_rate=CAPACITY),),
+        rounds=1, iterations=1,
+    )
+    assert outcome["benign"] > 0.85
+
+
+def test_io_isolated_fair_but_heavier(benchmark):
+    outcome = benchmark.pedantic(
+        run_with_scheduler,
+        args=(lambda: IoIsolatedFq(per_queue_depth=100, default_rate=CAPACITY),),
+        rounds=1, iterations=1,
+    )
+    assert outcome["benign"] > 0.85

@@ -1,0 +1,27 @@
+"""Figure 11 benchmark: processing delay added by DCC."""
+
+import pytest
+
+from repro.analysis.series import percentile
+from repro.experiments.fig11_delay import run_control_path, run_end_to_end
+
+
+def test_fig11_end_to_end_pair(benchmark):
+    def pair():
+        return run_end_to_end(False, requests=400), run_end_to_end(True, requests=400)
+
+    vanilla, dcc = benchmark.pedantic(pair, rounds=1, iterations=1)
+    # DCC adds no perceptible end-to-end delay when uncongested.
+    assert percentile(dcc.samples_ms, 90) <= percentile(vanilla.samples_ms, 90) + 1.0
+
+
+@pytest.mark.parametrize("entities", [(1000, 1000), (50_000, 50_000)])
+def test_fig11_control_path_cdf(benchmark, entities):
+    clients, servers = entities
+    sample = benchmark.pedantic(
+        run_control_path, args=(clients, servers), kwargs={"requests": 5000},
+        rounds=1, iterations=1,
+    )
+    # Median per-request control-path cost stays sub-millisecond and
+    # near-flat across a 50x state-size change (log-time operations).
+    assert percentile(sample.samples_ms, 50) < 1.0

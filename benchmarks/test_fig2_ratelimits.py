@@ -1,0 +1,33 @@
+"""Figure 2 benchmark: the rate-limit measurement sweep."""
+
+import pytest
+
+from repro.experiments.fig2_ratelimits import BUCKET_LABELS, run_figure2
+
+
+def test_fig2_probe_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_figure2, kwargs={"scale": 0.05, "resolver_count": 8},
+        rounds=1, iterations=1,
+    )
+    assert len(result.measurements) == 8
+    for label in ("IRL WC", "IRL NX", "ERL CQ", "ERL FF"):
+        histogram = result.histogram[label]
+        assert set(histogram) == set(BUCKET_LABELS)
+        assert sum(histogram.values()) == 8
+    # The estimator must hit the true ingress bucket most of the time.
+    assert result.bucket_accuracy() >= 0.5
+
+
+def test_fig2_single_resolver_probe(benchmark):
+    from repro.measure.population import build_population
+    from repro.measure.prober import ProbeConfig, RateLimitProber
+
+    profile = build_population()[0]
+
+    def probe():
+        prober = RateLimitProber(profile, ProbeConfig(scale=0.05))
+        return prober.probe_ingress("WC")
+
+    result = benchmark.pedantic(probe, rounds=2, iterations=1)
+    assert result.probe_steps >= 1

@@ -1,0 +1,61 @@
+"""Figure 4 benchmark: the attack-validation sweeps (setups a-d)."""
+
+import pytest
+
+from repro.experiments.fig4_attacks import (
+    run_setup_a,
+    run_setup_b,
+    run_setup_c,
+    run_setup_d,
+)
+
+TIME_SCALE = 0.1
+
+
+def test_fig4a_redundant_auth_servers(benchmark):
+    sweeps = benchmark.pedantic(
+        run_setup_a, kwargs={"rates": (1, 8), "fanouts": (7,), "time_scale": TIME_SCALE},
+        rounds=1, iterations=1,
+    )
+    points = sweeps[0].points
+    # Low-rate attacker: benign fine; high-rate: collapse.
+    assert points[0].benign_success > 0.9
+    assert points[1].benign_success < 0.6
+    assert points[0].benign_success > points[1].benign_success
+
+
+def test_fig4b_redundant_resolvers_barely_help(benchmark):
+    sweeps = benchmark.pedantic(
+        run_setup_b, kwargs={"rates": (8,), "time_scale": TIME_SCALE},
+        rounds=1, iterations=1,
+    )
+    # Even with two resolvers and retries, the attack lands.
+    assert sweeps[0].points[0].benign_success < 0.7
+
+
+def test_fig4c_forwarder_channel_knee(benchmark):
+    sweeps = benchmark.pedantic(
+        run_setup_c, kwargs={"rates": (60, 130), "time_scale": TIME_SCALE},
+        rounds=1, iterations=1,
+    )
+    three_upstreams = sweeps[0]
+    # Below the 100-QPS channel capacity: fine; above: degraded.
+    assert three_upstreams.points[0].benign_success > 0.9
+    assert three_upstreams.points[1].benign_success < 0.9
+    single_60 = sweeps[1]
+    # The 60-QPS upstream is heavily saturated at 130 QPS and strictly
+    # worse than at 60 QPS.
+    assert single_60.points[1].benign_success < 0.7
+    assert single_60.points[1].benign_success <= single_60.points[0].benign_success
+
+
+def test_fig4d_egress_set_size(benchmark):
+    sweeps = benchmark.pedantic(
+        run_setup_d,
+        kwargs={"rates": (40,), "egress_sizes": (4, 16), "time_scale": TIME_SCALE},
+        rounds=1, iterations=1,
+    )
+    small = sweeps[0].points[0].benign_success
+    large = sweeps[1].points[0].benign_success
+    # Impact inversely proportional to the egress-set size.
+    assert large >= small

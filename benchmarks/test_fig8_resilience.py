@@ -1,0 +1,56 @@
+"""Figure 8 benchmark: DCC vs vanilla under the Table 2 scenarios.
+
+Each benchmark regenerates one Figure 8 panel at a compressed timeline
+and asserts the panel's shape before timing.
+"""
+
+import pytest
+
+from repro.experiments.fig8_resilience import run_scenario
+
+
+def _phase_mean(run, client, lo, hi):
+    series = run.series(client)
+    window = series[lo:hi]
+    return sum(window) / max(1, len(window))
+
+
+@pytest.mark.parametrize("scenario", ["wildcard", "nxdomain", "amplification"])
+def test_fig8_vanilla(benchmark, scenario, quick_scale):
+    run = benchmark.pedantic(
+        run_scenario, args=(scenario, False), kwargs={"scale": quick_scale},
+        rounds=1, iterations=1,
+    )
+    duration = int(60 * quick_scale)
+    mid = (int(25 * quick_scale * 1), int(50 * quick_scale))
+    heavy = _phase_mean(run, "heavy", *mid)
+    # Vanilla: the heavy client is crushed well below its 600 QPS.
+    assert heavy < 400
+
+
+@pytest.mark.parametrize("scenario", ["wildcard", "nxdomain", "amplification"])
+def test_fig8_dcc(benchmark, scenario, quick_scale):
+    run = benchmark.pedantic(
+        run_scenario, args=(scenario, True), kwargs={"scale": quick_scale},
+        rounds=1, iterations=1,
+    )
+    mid = (int(25 * quick_scale), int(50 * quick_scale))
+    medium = _phase_mean(run, "medium", *mid)
+    light_window = (int(25 * quick_scale), int(55 * quick_scale))
+    light = _phase_mean(run, "light", *light_window)
+    # DCC: the medium client gets (near) its full 350 QPS and the light
+    # client its full 150 QPS despite the ongoing attack.
+    assert medium > 250
+    assert light > 100
+
+
+def test_fig8_dcc_protects_better_than_vanilla(benchmark, quick_scale):
+    def run_pair():
+        vanilla = run_scenario("wildcard", use_dcc=False, scale=quick_scale)
+        dcc = run_scenario("wildcard", use_dcc=True, scale=quick_scale)
+        return vanilla, dcc
+
+    vanilla, dcc = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    mid = (int(25 * quick_scale), int(50 * quick_scale))
+    assert _phase_mean(dcc, "heavy", *mid) > _phase_mean(vanilla, "heavy", *mid)
+    assert _phase_mean(dcc, "medium", *mid) > _phase_mean(vanilla, "medium", *mid)

@@ -1,0 +1,39 @@
+"""Figure 9 benchmark: signaling on/off on the forwarder chain."""
+
+import pytest
+
+from repro.experiments.fig9_signaling import collateral_damage, run_scenario
+
+SCALE = 0.1
+
+
+@pytest.mark.parametrize("scenario", ["nxdomain", "amplification"])
+def test_fig9_signaling_off(benchmark, scenario):
+    run = benchmark.pedantic(
+        run_scenario, args=(scenario, False), kwargs={"scale": SCALE},
+        rounds=1, iterations=1,
+    )
+    damage = collateral_damage(run, SCALE)
+    # Fate-sharing: the forwarder's benign clients suffer.
+    assert damage["heavy"] < 0.7
+
+
+@pytest.mark.parametrize("scenario", ["nxdomain", "amplification"])
+def test_fig9_signaling_on(benchmark, scenario):
+    run = benchmark.pedantic(
+        run_scenario, args=(scenario, True), kwargs={"scale": SCALE},
+        rounds=1, iterations=1,
+    )
+    damage = collateral_damage(run, SCALE)
+    # Signals push policing to the culprit's own hop.
+    assert damage["heavy"] > 0.75
+    assert damage["light"] > 0.7
+
+
+def test_fig9_medium_direct_client_always_served(benchmark):
+    run = benchmark.pedantic(
+        run_scenario, args=("nxdomain", True), kwargs={"scale": SCALE},
+        rounds=1, iterations=1,
+    )
+    medium = run.result.success_ratio("medium", 25 * SCALE, 45 * SCALE)
+    assert medium > 0.8

@@ -1,0 +1,101 @@
+"""MOPI-FQ micro-benchmarks: the Appendix B complexity claims.
+
+Enqueue/dequeue must be O(log |O|): throughput with 10 active output
+channels and with 10,000 must be within a small factor.
+"""
+
+import random
+
+import pytest
+
+from repro.dcc.mopifq import MopiFq, MopiFqConfig
+
+
+def _scheduler(outputs: int) -> MopiFq:
+    fq = MopiFq(MopiFqConfig(pool_capacity=200_000, default_channel_rate=1e12))
+    # Pre-activate channels so out_seq is at size `outputs` during the
+    # measured phase.
+    for i in range(outputs):
+        fq.enqueue(f"warm{i % 50}", f"d{i}", None, 0.0)
+    return fq
+
+
+def _churn(fq: MopiFq, outputs: int, ops: int = 20_000) -> int:
+    rng = random.Random(42)
+    now = 1.0
+    done = 0
+    for i in range(ops):
+        now += 1e-6
+        fq.enqueue(f"s{rng.randrange(64)}", f"d{rng.randrange(outputs)}", None, now)
+        if fq.dequeue(now) is not None:
+            done += 1
+    return done
+
+
+@pytest.mark.parametrize("outputs", [10, 100, 1000, 10_000])
+def test_enqueue_dequeue_scaling(benchmark, outputs):
+    fq = _scheduler(outputs)
+    done = benchmark.pedantic(_churn, args=(fq, outputs), rounds=3, iterations=1)
+    assert done > 0
+
+
+def test_enqueue_only_throughput(benchmark):
+    def run():
+        fq = MopiFq(MopiFqConfig(pool_capacity=100_000, max_poq_depth=100_000))
+        for i in range(10_000):
+            fq.enqueue(f"s{i % 100}", f"d{i % 32}", None, i * 1e-6)
+        return fq.stats.enqueued
+
+    assert benchmark(run) == 10_000
+
+
+def test_dequeue_only_throughput(benchmark):
+    def setup():
+        fq = MopiFq(
+            MopiFqConfig(pool_capacity=100_000, max_poq_depth=100_000,
+                         default_channel_rate=1e12)
+        )
+        for i in range(10_000):
+            fq.enqueue(f"s{i % 100}", f"d{i % 32}", None, i * 1e-6)
+        return (fq,), {}
+
+    def drain(fq):
+        count = 0
+        while fq.dequeue(1.0) is not None:
+            count += 1
+        return count
+
+    result = benchmark.pedantic(drain, setup=setup, rounds=3, iterations=1)
+    assert result == 10_000
+
+
+def test_eviction_path(benchmark):
+    """Hammer the full-queue eviction path (fairness displacement)."""
+
+    def run():
+        fq = MopiFq(MopiFqConfig(max_poq_depth=32, max_round=64, pool_capacity=1000))
+        for i in range(32):
+            fq.enqueue("hog", "d", None, 0.0)
+        for i in range(5000):
+            fq.enqueue(f"meek{i % 8}", "d", None, 1e-6 * i)
+        return fq.stats.evicted
+
+    assert benchmark(run) > 0
+
+
+def test_out_seq_relocation_under_congestion(benchmark):
+    """Dequeue with every channel congested: pure out_seq churn."""
+
+    def run():
+        fq = MopiFq(MopiFqConfig(pool_capacity=50_000))
+        for i in range(500):
+            fq.set_channel_capacity(f"d{i}", rate=0.001, burst=1.0)
+            fq.enqueue("s", f"d{i}", None, 0.0)
+            fq.channel_bucket(f"d{i}").try_consume(0.0)
+        misses = 0
+        for i in range(2000):
+            if fq.dequeue(0.0) is None:
+                misses += 1
+        return misses
+
+    assert benchmark(run) > 0

@@ -1,0 +1,16 @@
+"""Table 1 benchmark: DCC state accounting vs resolver state."""
+
+import pytest
+
+from repro.experiments.table1_state import run_table1
+
+
+def test_table1_state_comparison(benchmark):
+    snapshot = benchmark.pedantic(
+        run_table1, kwargs={"duration": 5.0, "clients": 6, "rate": 60.0},
+        rounds=1, iterations=1,
+    )
+    assert snapshot.dcc_not_larger()
+    # Each granularity is populated on the resolver side.
+    assert snapshot.resolver["per-server (NS info, RL, SRTT)"] > 0
+    assert snapshot.dcc["per-client (monitoring, policies)"] == 6

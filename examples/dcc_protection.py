@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""DCC vs vanilla, side by side (the paper's Figure 8 story, condensed).
+
+Runs the same adversarial workload against a vanilla resolver and a
+DCC-enabled one, and prints what each client experienced.  The attacker
+uses the NXDOMAIN pattern, so the DCC run also shows the monitor at
+work: suspicion, conviction, a 100-QPS rate-limit policy, and the
+work-conserving reallocation of the freed channel share.
+
+Run:  python examples/dcc_protection.py
+"""
+
+from repro.analysis.report import render_table, sparkline
+from repro.dcc.monitor import MonitorConfig
+from repro.experiments.common import AttackScenario, ScenarioConfig
+from repro.experiments.fig8_resilience import paper_policy_templates
+from repro.workloads import ClientSpec
+
+DURATION = 20.0
+CAPACITY = 600.0
+TIME_SCALE = DURATION / 60.0
+
+
+def run(use_dcc: bool):
+    config = ScenarioConfig(
+        seed=11,
+        duration=DURATION,
+        channel_capacity=CAPACITY,
+        use_dcc=use_dcc,
+        monitor=MonitorConfig(
+            window=2.0 * TIME_SCALE,
+            alarm_threshold=10,
+            suspicion_period=60.0 * TIME_SCALE,
+        ),
+        policy_templates=paper_policy_templates(time_scale=TIME_SCALE),
+    )
+    scenario = AttackScenario(config)
+    scenario.add_clients([
+        ClientSpec("heavy", 0.0, DURATION, 300.0, "WC"),
+        ClientSpec("medium", 0.0, DURATION, 150.0, "WC"),
+        ClientSpec("attacker", DURATION * 0.2, DURATION, 700.0, "NX",
+                   is_attacker=True),
+    ])
+    return scenario, scenario.run()
+
+
+def main():
+    print(f"workload: heavy 300 QPS + medium 150 QPS benign (WC), "
+          f"attacker 700 QPS (NX) from t={DURATION * 0.2:.0f}s; "
+          f"channel capacity {CAPACITY:.0f} QPS\n")
+
+    rows = []
+    sparks = {}
+    for label, use_dcc in (("vanilla", False), ("DCC", True)):
+        scenario, result = run(use_dcc)
+        window = (DURATION * 0.4, DURATION * 0.95)
+        for client in ("heavy", "medium", "attacker"):
+            rows.append([
+                label,
+                client,
+                f"{result.success_ratio(client, *window):.2f}",
+                round(sum(result.effective_qps[client][int(window[0]):int(window[1])])
+                      / (window[1] - window[0])),
+            ])
+        sparks[label] = {
+            client: sparkline(result.effective_qps[client], width=40)
+            for client in ("heavy", "medium", "attacker")
+        }
+        if use_dcc:
+            shim = scenario.shims[0]
+            print("DCC internals:")
+            print(f"  convictions: {shim.monitor.stats.convictions}, "
+                  f"alarms: {shim.monitor.stats.alarms_raised}")
+            print(f"  queries policed pre-queue: {shim.stats.queries_policed}")
+            print(f"  queries dropped by fair queuing: "
+                  f"{shim.stats.queries_dropped_congestion}")
+            print(f"  SERVFAILs synthesised (no silent drops): "
+                  f"{shim.stats.servfails_synthesized}")
+            print(f"  signals attached to responses: {shim.stats.signals_attached}\n")
+
+    print(render_table(
+        ["resolver", "client", "success (attack window)", "mean eff. QPS"], rows))
+    print("\neffective QPS over time:")
+    for label in ("vanilla", "DCC"):
+        print(f"  [{label}]")
+        for client, spark in sparks[label].items():
+            print(f"    {client:>9s} |{spark}|")
+    print("\nTakeaway: the vanilla resolver lets the NX flood starve benign "
+          "clients; DCC's\nfair queuing caps the attacker at its share, the "
+          "monitor convicts it (NXDOMAIN\nratio > 0.2), and policing frees "
+          "its share for the benign clients.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""In-band signaling on a resolution chain (the paper's Figure 6 / 9).
+
+Topology: stub clients -> DCC forwarder -> DCC recursive resolver ->
+authoritative servers.  One client behind the forwarder runs a
+pseudo-random-subdomain attack.  Watch, with signaling on vs off:
+
+- OFF: the resolver can only see the forwarder misbehaving, polices it,
+  and the forwarder's innocent clients lose service (collateral damage);
+- ON: the resolver's anomaly signals ride back on the responses to the
+  anomalous requests, the forwarder attributes them to the true culprit
+  and polices *it* before the resolver's countdown expires.
+
+A DCC-aware client is also included: it records the congestion /
+policing signals it receives and switches resolvers when policed.
+
+Run:  python examples/signaling_chain.py
+"""
+
+from repro.analysis.report import render_table
+from repro.experiments.fig9_signaling import collateral_damage, run_scenario
+
+SCALE = 0.25  # 15-second timeline with paper-shaped dynamics
+
+
+def main():
+    print("scenario: heavy(600 WC) + light(150 WC) + attacker(200 NX) behind a "
+          "DCC forwarder;\nmedium(350 WC) talks to the DCC resolver directly; "
+          "both channels capped at 1000 QPS\n")
+
+    rows = []
+    for signaling in (False, True):
+        run = run_scenario("nxdomain", signaling=signaling, scale=SCALE)
+        damage = collateral_damage(run, SCALE)
+        window = (30 * SCALE, 55 * SCALE)
+        attacker = run.result.success_ratio("attacker", *window)
+        medium = run.result.success_ratio("medium", *window)
+        rows.append([
+            "on" if signaling else "off",
+            f"{damage['heavy']:.2f}",
+            f"{damage['light']:.2f}",
+            f"{medium:.2f}",
+            f"{attacker:.2f}",
+        ])
+        if signaling:
+            shims = _find_shims(run)
+            triggered = sum(s.stats.signal_triggered_policings for s in shims)
+            relayed = sum(s.stats.signals_relayed for s in shims)
+            attached = sum(s.stats.signals_attached for s in shims)
+            print(f"with signaling on: {attached} signals attached, "
+                  f"{relayed} relayed downstream,")
+            print(f"{triggered} policing decision(s) triggered at the hop "
+                  f"closest to the culprit\n")
+
+    print(render_table(
+        ["signaling", "heavy ok", "light ok", "medium ok", "attacker ok"], rows))
+    print("\nTakeaway: without signals the forwarder is policed wholesale "
+          "(heavy/light crash);\nwith signals the anomaly countdown reaches "
+          "the forwarder in time to police only\nthe attacker -- the benign "
+          "columns recover while the attacker stays suppressed.")
+
+
+def _find_shims(run):
+    client = next(iter(run.result.clients.values()))
+    shims = []
+    for node in client.network._nodes.values():
+        hook = getattr(node, "egress_query_hook", None)
+        if hook is not None and hasattr(hook, "__self__"):
+            shims.append(hook.__self__)
+    return shims
+
+
+if __name__ == "__main__":
+    main()

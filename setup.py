@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so the package installs in offline environments that lack the
+``wheel`` package (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro: a reproduction of "DNS Congestion Control in Adversarial
+Settings" (SOSP 2024).
+
+Top-level convenience imports; the subpackages are:
+
+- :mod:`repro.dnscore` -- DNS data model (names, records, messages,
+  EDNS, wire codec, zones);
+- :mod:`repro.netsim` -- deterministic discrete-event network simulator;
+- :mod:`repro.server` -- authoritative servers, recursive resolvers,
+  forwarders, rate limiting, caching;
+- :mod:`repro.dcc` -- the DCC framework: MOPI-FQ scheduler, anomaly
+  monitoring, pre-queue policing, in-band signaling, the non-invasive
+  shim;
+- :mod:`repro.workloads` -- attack patterns, zone generators, traffic
+  sources, evaluation schedules;
+- :mod:`repro.measure` -- the rate-limit measurement study;
+- :mod:`repro.analysis` -- max-min fairness math and experiment
+  post-processing;
+- :mod:`repro.experiments` -- drivers regenerating each paper
+  table/figure.
+"""
+
+from repro.dcc import DccConfig, DccShim, MopiFq, MopiFqConfig
+from repro.netsim import Network, Simulator
+from repro.server import (
+    AuthoritativeServer,
+    Forwarder,
+    ForwarderConfig,
+    RecursiveResolver,
+    ResolverConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DccConfig",
+    "DccShim",
+    "MopiFq",
+    "MopiFqConfig",
+    "Network",
+    "Simulator",
+    "AuthoritativeServer",
+    "Forwarder",
+    "ForwarderConfig",
+    "RecursiveResolver",
+    "ResolverConfig",
+    "__version__",
+]

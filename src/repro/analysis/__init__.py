@@ -1,0 +1,31 @@
+"""Analysis utilities: fairness math and experiment post-processing.
+
+- :mod:`repro.analysis.maxmin` -- the water-filling procedure and the
+  analytic max-min fair allocation ``f(C, r, R)`` from the paper's
+  Appendix B.2 (the reference MOPI-FQ is property-tested against);
+- :mod:`repro.analysis.fairness` -- Jain's index and MMF-deviation
+  metrics for scheduler outputs;
+- :mod:`repro.analysis.series` -- time-series bucketing and CDFs for the
+  evaluation figures;
+- :mod:`repro.analysis.report` -- fixed-width table rendering for the
+  experiment harnesses.
+"""
+
+from repro.analysis.maxmin import water_filling, mmf_allocation, is_max_min_fair
+from repro.analysis.fairness import jain_index, mmf_deviation, normalized_throughput
+from repro.analysis.series import TimeSeries, cdf_points, percentile
+from repro.analysis.report import render_table, format_series
+
+__all__ = [
+    "water_filling",
+    "mmf_allocation",
+    "is_max_min_fair",
+    "jain_index",
+    "mmf_deviation",
+    "normalized_throughput",
+    "TimeSeries",
+    "cdf_points",
+    "percentile",
+    "render_table",
+    "format_series",
+]

@@ -1,0 +1,44 @@
+"""Fairness metrics for scheduler outputs."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.maxmin import water_filling
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly equal, 1/n = maximally
+    skewed.  Defined as (sum x)^2 / (n * sum x^2)."""
+    values = [v for v in values if v >= 0]
+    if not values:
+        return 1.0
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)
+
+
+def mmf_deviation(
+    measured: Dict[str, float],
+    demands: Dict[str, float],
+    capacity: float,
+    shares: Optional[Dict[str, float]] = None,
+) -> float:
+    """Relative L1 distance between a measured allocation and the ideal
+    water-filling allocation; 0.0 = exactly max-min fair."""
+    names = sorted(demands)
+    share_list = [shares[n] for n in names] if shares is not None else None
+    ideal = water_filling([demands[n] for n in names], capacity, share_list)
+    total_ideal = sum(ideal)
+    if total_ideal == 0:
+        return 0.0
+    gap = sum(abs(measured.get(n, 0.0) - i) for n, i in zip(names, ideal))
+    return gap / total_ideal
+
+
+def normalized_throughput(measured: Dict[str, float], shares: Dict[str, float]) -> Dict[str, float]:
+    """Per-source throughput divided by share -- the quantity weighted
+    max-min fairness equalises among bottlenecked sources."""
+    return {name: measured.get(name, 0.0) / shares[name] for name in shares}

@@ -1,0 +1,44 @@
+"""Plain-text rendering of experiment outputs.
+
+The experiment drivers print the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and readable
+in a terminal (and in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+    lines = [fmt(headers), "  ".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_series(label: str, values: Sequence[float], every: int = 5, precision: int = 0) -> str:
+    """One figure line as 'label: v0 v5 v10 ...' sampled every N buckets."""
+    sampled = values[::every]
+    body = " ".join(f"{v:.{precision}f}" for v in sampled)
+    return f"{label:>12s}: {body}"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Unicode sparkline of a series, downsampled to ``width`` points."""
+    if not values:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    top = max(values) or 1.0
+    return "".join(blocks[min(8, int(8 * v / top))] for v in values)

@@ -1,0 +1,122 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Dispatches to the experiment drivers so the whole evaluation can be
+regenerated without writing Python:
+
+    python -m repro fig2 --scale 0.1
+    python -m repro fig4 --scale 0.15
+    python -m repro fig8 --scale 0.25
+    python -m repro fig9 --scale 0.25
+    python -m repro fig10 --quick
+    python -m repro fig11 --quick
+    python -m repro table1
+    python -m repro all --scale 0.1      # everything, quick settings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures "
+        "(DNS Congestion Control in Adversarial Settings, SOSP 2024).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig2 = sub.add_parser("fig2", help="rate limits of 45 open resolvers")
+    fig2.add_argument("--scale", type=float, default=0.1,
+                      help="probe rate/duration scale (1.0 = paper rates)")
+    fig2.add_argument("--resolvers", type=int, default=None,
+                      help="limit the population (default: all 45)")
+
+    fig4 = sub.add_parser("fig4", help="attack validation sweeps (setups a-d)")
+    fig4.add_argument("--scale", type=float, default=0.15,
+                      help="timeline compression (1.0 = 50-second runs)")
+    fig4.add_argument("--quick", action="store_true", help="thin the sweeps")
+
+    fig8 = sub.add_parser("fig8", help="DCC vs vanilla (Table 2 scenarios)")
+    fig8.add_argument("--scale", type=float, default=0.25)
+    fig8.add_argument("--seed", type=int, default=42)
+
+    fig9 = sub.add_parser("fig9", help="signaling on/off on a forwarder chain")
+    fig9.add_argument("--scale", type=float, default=0.25)
+    fig9.add_argument("--seed", type=int, default=42)
+
+    fig10 = sub.add_parser("fig10", help="overhead vs tracked entities")
+    fig10.add_argument("--quick", action="store_true")
+    fig10.add_argument("--ops", type=int, default=50_000)
+
+    fig11 = sub.add_parser("fig11", help="added processing delay CDFs")
+    fig11.add_argument("--quick", action="store_true")
+
+    sub.add_parser("table1", help="DCC state vs resolver state")
+    sub.add_parser("ablations", help="design-choice ablations (schedulers, depth)")
+
+    everything = sub.add_parser("all", help="run every experiment (quick settings)")
+    everything.add_argument("--scale", type=float, default=0.1)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "fig2":
+        from repro.experiments import fig2_ratelimits
+
+        fig2_ratelimits.main(scale=args.scale, resolver_count=args.resolvers)
+    elif args.command == "fig4":
+        from repro.experiments import fig4_attacks
+
+        fig4_attacks.main(time_scale=args.scale, quick=args.quick)
+    elif args.command == "fig8":
+        from repro.experiments import fig8_resilience
+
+        fig8_resilience.main(scale=args.scale, seed=args.seed)
+    elif args.command == "fig9":
+        from repro.experiments import fig9_signaling
+
+        fig9_signaling.main(scale=args.scale, seed=args.seed)
+    elif args.command == "fig10":
+        from repro.experiments import fig10_overhead
+
+        fig10_overhead.main(ops=args.ops, quick=args.quick)
+    elif args.command == "fig11":
+        from repro.experiments import fig11_delay
+
+        fig11_delay.main(quick=args.quick)
+    elif args.command == "table1":
+        from repro.experiments import table1_state
+
+        table1_state.main()
+    elif args.command == "ablations":
+        from repro.experiments import ablations
+
+        ablations.main()
+    elif args.command == "all":
+        from repro.experiments import (
+            fig2_ratelimits,
+            fig4_attacks,
+            fig8_resilience,
+            fig9_signaling,
+            fig10_overhead,
+            fig11_delay,
+            table1_state,
+        )
+
+        fig2_ratelimits.main(scale=args.scale, resolver_count=10)
+        fig4_attacks.main(time_scale=args.scale, quick=True)
+        fig8_resilience.main(scale=args.scale)
+        fig9_signaling.main(scale=args.scale)
+        fig10_overhead.main(quick=True)
+        fig11_delay.main(quick=True)
+        table1_state.main()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

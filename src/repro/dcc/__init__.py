@@ -1,0 +1,84 @@
+"""DCC: the DNS congestion-control framework (the paper's contribution).
+
+Components, mirroring Figure 5:
+
+- :mod:`repro.dcc.mopifq` -- the MOPI-FQ scheduler (Section 4 /
+  Appendix B): multi-output pseudo-isolated fair queuing over a shared
+  entry pool, O(|O| + q) space and O(log |O|) enqueue/dequeue;
+- :mod:`repro.dcc.baselines` -- the Figure 7 design-space alternatives
+  (input-centric FQ, leapfrog, IO-isolated, output-centric calendar FQ,
+  plain FIFO) used as ablation baselines;
+- :mod:`repro.dcc.monitor` -- per-client anomaly monitoring over sliding
+  windows (Section 3.2.2);
+- :mod:`repro.dcc.policing` -- pre-queue policing of convicted clients
+  (Section 3.2.3);
+- :mod:`repro.dcc.signaling` -- in-band anomaly/policing/congestion
+  signals carried in EDNS options (Section 3.3);
+- :mod:`repro.dcc.state` -- per-client / per-server / per-request state
+  tables with inactivity purging (Table 1);
+- :mod:`repro.dcc.shim` -- the non-invasive I/O shim that turns a vanilla
+  resolver or forwarder into a DCC-enabled one.
+"""
+
+from repro.dcc.mopifq import (
+    MopiFq,
+    MopiFqConfig,
+    EnqueueStatus,
+    DequeuedMessage,
+)
+from repro.dcc.baselines import (
+    FifoScheduler,
+    InputCentricFq,
+    LeapfrogInputFq,
+    IoIsolatedFq,
+    OutputCentricFq,
+)
+from repro.dcc.monitor import AnomalyMonitor, MonitorConfig, AnomalyKind, ClientVerdict
+from repro.dcc.policing import PolicyEngine, Policy, PolicyKind
+from repro.dcc.signaling import (
+    AnomalySignal,
+    PolicingSignal,
+    CongestionSignal,
+    CapacitySignal,
+    Signal,
+    extract_signals,
+    attach_signal,
+)
+from repro.dcc.state import DccStateTables
+from repro.dcc.shim import DccShim, DccConfig
+from repro.dcc.shares import EqualShares, RateLimitPeggedShares, HistoryBasedShares
+from repro.dcc.capacity import CapacityEstimator, CapacityConfig
+
+__all__ = [
+    "MopiFq",
+    "MopiFqConfig",
+    "EnqueueStatus",
+    "DequeuedMessage",
+    "FifoScheduler",
+    "InputCentricFq",
+    "LeapfrogInputFq",
+    "IoIsolatedFq",
+    "OutputCentricFq",
+    "AnomalyMonitor",
+    "MonitorConfig",
+    "AnomalyKind",
+    "ClientVerdict",
+    "PolicyEngine",
+    "Policy",
+    "PolicyKind",
+    "AnomalySignal",
+    "PolicingSignal",
+    "CongestionSignal",
+    "CapacitySignal",
+    "Signal",
+    "extract_signals",
+    "attach_signal",
+    "DccStateTables",
+    "DccShim",
+    "DccConfig",
+    "EqualShares",
+    "RateLimitPeggedShares",
+    "HistoryBasedShares",
+    "CapacityEstimator",
+    "CapacityConfig",
+]

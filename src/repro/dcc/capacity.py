@@ -1,0 +1,133 @@
+"""Channel-capacity learning (paper Section 3.2.1, footnote 1).
+
+A channel's capacity is min(upstream ingress limit, own egress limit).
+The footnote lists three ways a DCC-enabled resolver can obtain the
+upstream part: "sending regular probing queries, using system parameters
+publicized by or negotiated between DNS operators, or leveraging DCC's
+in-band signal mechanism".
+
+:class:`CapacityEstimator` implements the probing/feedback option as an
+AIMD controller over the observed channel behaviour:
+
+- every answered query is a *delivery* observation;
+- every timeout or upstream SERVFAIL attributable to the channel is a
+  *loss* observation;
+- when the loss ratio over a window exceeds ``loss_threshold``, the
+  estimate is cut multiplicatively (we were probing above the upstream
+  limit);
+- after ``quiet_windows`` clean windows at the current estimate, the
+  estimate grows additively to re-probe.
+
+The estimate is clamped to ``[floor, ceiling]`` and can be pushed into a
+:class:`~repro.dcc.mopifq.MopiFq` channel bucket via ``apply_to``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.util.sliding import SlidingWindowRatio
+
+
+@dataclass
+class CapacityConfig:
+    initial: float = 1000.0
+    floor: float = 10.0
+    ceiling: float = 100_000.0
+    window: float = 2.0
+    #: loss ratio that triggers a multiplicative decrease
+    loss_threshold: float = 0.05
+    decrease_factor: float = 0.7
+    #: additive increase per growth step (queries/second)
+    increase_step: float = 25.0
+    #: clean evaluation windows required before growing
+    quiet_windows: int = 3
+    #: ignore windows with fewer observations than this
+    min_observations: int = 10
+
+
+class _ChannelState:
+    __slots__ = ("estimate", "losses", "clean_streak", "last_eval")
+
+    def __init__(self, initial: float, window: float) -> None:
+        self.estimate = initial
+        self.losses = SlidingWindowRatio(window)
+        self.clean_streak = 0
+        self.last_eval = 0.0
+
+
+class CapacityEstimator:
+    """AIMD estimation of per-channel capacity from delivery feedback."""
+
+    def __init__(self, config: Optional[CapacityConfig] = None) -> None:
+        self.config = config or CapacityConfig()
+        self._channels: Dict[str, _ChannelState] = {}
+        self.decreases = 0
+        self.increases = 0
+
+    def _state(self, channel: str) -> _ChannelState:
+        state = self._channels.get(channel)
+        if state is None:
+            state = _ChannelState(self.config.initial, self.config.window)
+            self._channels[channel] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # observations
+    # ------------------------------------------------------------------
+    def record_delivery(self, channel: str, now: float) -> None:
+        """A query on ``channel`` was answered."""
+        self._state(channel).losses.record(now, hit=False)
+
+    def record_loss(self, channel: str, now: float) -> None:
+        """A query on ``channel`` timed out or bounced (over-limit)."""
+        self._state(channel).losses.record(now, hit=True)
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float) -> Dict[str, float]:
+        """Window tick: adjust estimates; returns channels that changed."""
+        changed: Dict[str, float] = {}
+        config = self.config
+        for channel, state in self._channels.items():
+            if now - state.last_eval < config.window:
+                continue
+            state.last_eval = now
+            observations = state.losses.observations(now)
+            if observations < config.min_observations:
+                continue
+            ratio = state.losses.ratio(now)
+            if ratio > config.loss_threshold:
+                state.estimate = max(config.floor, state.estimate * config.decrease_factor)
+                state.clean_streak = 0
+                self.decreases += 1
+                changed[channel] = state.estimate
+            else:
+                state.clean_streak += 1
+                if state.clean_streak >= config.quiet_windows:
+                    state.clean_streak = 0
+                    grown = min(config.ceiling, state.estimate + config.increase_step)
+                    if grown != state.estimate:
+                        state.estimate = grown
+                        self.increases += 1
+                        changed[channel] = state.estimate
+        return changed
+
+    def estimate(self, channel: str) -> float:
+        return self._state(channel).estimate
+
+    def seed(self, channel: str, capacity: float) -> None:
+        """Start from an operator-published / signaled value."""
+        self._state(channel).estimate = max(
+            self.config.floor, min(self.config.ceiling, capacity)
+        )
+
+    def apply_to(self, scheduler, channel: str, burst_fraction: float = 0.1) -> None:
+        """Push the current estimate into a scheduler's channel bucket."""
+        rate = self.estimate(channel)
+        scheduler.set_channel_capacity(channel, rate, max(1.0, rate * burst_fraction))
+
+    def tracked_channels(self) -> int:
+        return len(self._channels)

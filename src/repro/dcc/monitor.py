@@ -1,0 +1,314 @@
+"""Per-client anomaly monitoring (paper Section 3.2.2).
+
+The FQ scheduler guarantees fair channel shares, but attackers can still
+craft query patterns that hurt disproportionately: amplification
+(requests eliciting many queries), pseudo-random names bypassing the
+cache into NXDOMAIN floods, etc.  The monitor tracks a set of metrics
+per client over a sliding window and runs an alarm -> suspicion ->
+conviction state machine:
+
+- at the end of each window, any metric over threshold raises an
+  **alarm**;
+- the first alarm puts the client in a **suspicious** state;
+- reaching ``alarm_threshold`` alarms within ``suspicion_period``
+  **convicts** the client (pre-queue policing takes over);
+- a suspicious client with no conviction by the end of the period is
+  **released**.
+
+The remaining-alarms countdown is exported to the signaling layer: it is
+what the upstream's anomaly signal carries so a downstream resolver can
+police the true culprit before the upstream polices *it*
+(Section 3.3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dnscore.rdata import RCode
+from repro.util.sliding import SlidingWindowCounter, SlidingWindowRatio
+
+
+class AnomalyKind(enum.IntEnum):
+    """Why a client is considered anomalous (carried in signals)."""
+
+    NXDOMAIN = 1  # pseudo-random subdomain / Water Torture pattern
+    AMPLIFICATION = 2  # disproportionate queries per request
+    RATE = 3  # raw request-rate excess
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class ClientVerdict(enum.Enum):
+    NORMAL = "normal"
+    SUSPICIOUS = "suspicious"
+    CONVICTED = "convicted"
+
+
+@dataclass
+class MonitorConfig:
+    """Thresholds (defaults mirror the paper's evaluation, Section 5.1)."""
+
+    window: float = 2.0
+    #: alarms within the suspicion period that convict a client
+    alarm_threshold: int = 10
+    suspicion_period: float = 60.0
+    #: NXDOMAIN-to-all-responses ratio that raises an alarm
+    nxdomain_ratio_threshold: float = 0.2
+    #: attributed queries a *single* request may spawn before the request
+    #: counts as an amplification anomaly (per-request, so a forwarder's
+    #: mixed traffic cannot dilute an attacker hiding behind it)
+    amplification_threshold: float = 5.0
+    #: amplification-anomalous requests per window that raise an alarm
+    amplification_request_threshold: float = 4.0
+    #: client request rate (QPS) that raises an alarm; None disables
+    request_rate_threshold: Optional[float] = None
+    #: ignore windows with fewer observations than this (noise floor)
+    min_observations: int = 4
+
+
+@dataclass
+class AnomalyEvent:
+    """One alarm, reported from :meth:`AnomalyMonitor.evaluate`."""
+
+    client: str
+    kind: AnomalyKind
+    alarms: int
+    #: remaining alarms until conviction (the signal countdown)
+    countdown: int
+    convicted: bool
+
+
+class _ClientState:
+    __slots__ = (
+        "requests",
+        "queries",
+        "anomalous_requests",
+        "nx_ratio",
+        "verdict",
+        "alarms",
+        "suspicious_since",
+        "last_kind",
+        "last_seen",
+        "sensitivity_boost",
+    )
+
+    def __init__(self, config: MonitorConfig) -> None:
+        self.requests = SlidingWindowCounter(config.window)
+        self.queries = SlidingWindowCounter(config.window)
+        self.anomalous_requests = SlidingWindowCounter(config.window)
+        self.nx_ratio = SlidingWindowRatio(config.window)
+        self.verdict = ClientVerdict.NORMAL
+        self.alarms = 0
+        self.suspicious_since: Optional[float] = None
+        self.last_kind: Optional[AnomalyKind] = None
+        self.last_seen = 0.0
+        #: alarms added by external pressure (policing signals received
+        #: from upstream lower our own conviction bar, Section 3.3.2)
+        self.sensitivity_boost = 0
+
+
+@dataclass
+class MonitorStats:
+    alarms_raised: int = 0
+    convictions: int = 0
+    releases: int = 0
+    external_alarms: int = 0
+
+
+class AnomalyMonitor:
+    """Tracks per-client anomaly metrics and the suspicion state machine."""
+
+    def __init__(self, config: Optional[MonitorConfig] = None) -> None:
+        self.config = config or MonitorConfig()
+        self._clients: Dict[str, _ClientState] = {}
+        self.stats = MonitorStats()
+        self._sensitivity_until = 0.0
+        self._base_nx_threshold = self.config.nxdomain_ratio_threshold
+        self._base_amp_threshold = self.config.amplification_request_threshold
+
+    def _state(self, client: str, now: float) -> _ClientState:
+        state = self._clients.get(client)
+        if state is None:
+            state = _ClientState(self.config)
+            self._clients[client] = state
+        state.last_seen = now
+        return state
+
+    # ------------------------------------------------------------------
+    # event feeds (called from the shim's I/O path)
+    # ------------------------------------------------------------------
+    def record_request(self, client: str, now: float) -> None:
+        """A client request entered the resolution path (cache misses
+        only: cache hits are 'treated as normal by DCC', Section 3.2.3)."""
+        self._state(client, now).requests.add(now)
+
+    def record_query(self, client: str, now: float) -> None:
+        """An outgoing query was attributed to ``client``."""
+        self._state(client, now).queries.add(now)
+
+    def record_answer(self, client: str, rcode: RCode, now: float) -> None:
+        """An upstream answer for a query attributed to ``client``."""
+        self._state(client, now).nx_ratio.record(now, hit=(rcode == RCode.NXDOMAIN))
+
+    def record_anomalous_request(self, client: str, now: float) -> None:
+        """One of the client's requests crossed the per-request
+        amplification threshold (reported by the shim the moment the
+        request's attributed-query count exceeds it)."""
+        self._state(client, now).anomalous_requests.add(now)
+
+    def raise_sensitivity(self, now: float, factor: float = 0.5, duration: float = 30.0) -> None:
+        """Temporarily tighten detection thresholds (Section 3.3.2):
+        called when an upstream policing signal shows we failed to catch
+        the culprit ourselves."""
+        if self._sensitivity_until <= now:
+            self._base_nx_threshold = self.config.nxdomain_ratio_threshold
+            self._base_amp_threshold = self.config.amplification_request_threshold
+            self.config.nxdomain_ratio_threshold *= factor
+            self.config.amplification_request_threshold = max(
+                1.0, self.config.amplification_request_threshold * factor
+            )
+        self._sensitivity_until = now + duration
+
+    def _maybe_restore_sensitivity(self, now: float) -> None:
+        if self._sensitivity_until and now > self._sensitivity_until:
+            self.config.nxdomain_ratio_threshold = self._base_nx_threshold
+            self.config.amplification_request_threshold = self._base_amp_threshold
+            self._sensitivity_until = 0.0
+
+    def external_alarm(self, client: str, kind: AnomalyKind, now: float, weight: int = 1) -> Optional[AnomalyEvent]:
+        """Pressure from upstream signals: count extra alarms directly.
+
+        Used when an upstream anomaly signal names this client as the
+        suspect, or when a policing signal tells us to raise sensitivity.
+        """
+        state = self._state(client, now)
+        self.stats.external_alarms += 1
+        return self._raise_alarm(client, state, kind, now, weight=weight)
+
+    # ------------------------------------------------------------------
+    # window evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float) -> List[AnomalyEvent]:
+        """End-of-window check across all tracked clients.
+
+        Call every ``config.window`` seconds (the shim schedules this).
+        """
+        self._maybe_restore_sensitivity(now)
+        events: List[AnomalyEvent] = []
+        for client, state in list(self._clients.items()):
+            self._maybe_release(client, state, now)
+            kind = self._detect(state, now)
+            if kind is None:
+                continue
+            event = self._raise_alarm(client, state, kind, now)
+            if event is not None:
+                events.append(event)
+        return events
+
+    def _detect(self, state: _ClientState, now: float) -> Optional[AnomalyKind]:
+        observations = state.nx_ratio.observations(now)
+        config = self.config
+
+        if state.anomalous_requests.total(now) >= config.amplification_request_threshold:
+            return AnomalyKind.AMPLIFICATION
+        if (
+            observations >= config.min_observations
+            and state.nx_ratio.ratio(now) > config.nxdomain_ratio_threshold
+        ):
+            return AnomalyKind.NXDOMAIN
+        if (
+            config.request_rate_threshold is not None
+            and state.requests.rate(now) > config.request_rate_threshold
+        ):
+            return AnomalyKind.RATE
+        return None
+
+    def _raise_alarm(
+        self, client: str, state: _ClientState, kind: AnomalyKind, now: float, weight: int = 1
+    ) -> Optional[AnomalyEvent]:
+        if state.verdict == ClientVerdict.CONVICTED:
+            return None  # already policed; nothing new to report
+        if state.verdict == ClientVerdict.NORMAL:
+            state.verdict = ClientVerdict.SUSPICIOUS
+            state.suspicious_since = now
+            state.alarms = 0
+        state.alarms += weight
+        state.last_kind = kind
+        self.stats.alarms_raised += weight
+        threshold = self.config.alarm_threshold
+        convicted = state.alarms >= threshold
+        if convicted:
+            state.verdict = ClientVerdict.CONVICTED
+            self.stats.convictions += 1
+        return AnomalyEvent(
+            client=client,
+            kind=kind,
+            alarms=state.alarms,
+            countdown=max(0, threshold - state.alarms),
+            convicted=convicted,
+        )
+
+    def _maybe_release(self, client: str, state: _ClientState, now: float) -> None:
+        if (
+            state.verdict == ClientVerdict.SUSPICIOUS
+            and state.suspicious_since is not None
+            and now - state.suspicious_since > self.config.suspicion_period
+        ):
+            state.verdict = ClientVerdict.NORMAL
+            state.alarms = 0
+            state.suspicious_since = None
+            self.stats.releases += 1
+
+    # ------------------------------------------------------------------
+    # queries from the shim / signaling
+    # ------------------------------------------------------------------
+    def verdict(self, client: str) -> ClientVerdict:
+        state = self._clients.get(client)
+        return state.verdict if state is not None else ClientVerdict.NORMAL
+
+    def countdown(self, client: str) -> int:
+        state = self._clients.get(client)
+        if state is None or state.verdict == ClientVerdict.NORMAL:
+            return self.config.alarm_threshold
+        return max(0, self.config.alarm_threshold - state.alarms)
+
+    def last_kind(self, client: str) -> Optional[AnomalyKind]:
+        state = self._clients.get(client)
+        return state.last_kind if state is not None else None
+
+    def clear_conviction(self, client: str) -> None:
+        """Called when a policy expires.
+
+        The client drops back to *suspicious* with its alarm count
+        intact: the suspicion period (Section 3.2.2) has not ended, so a
+        single further alarm re-convicts immediately -- this is what
+        keeps a persistent attacker "rate limited until the end"
+        (Section 5.1, Scenario 2) instead of oscillating.  The normal
+        release path (no alarms for a full suspicion period) still
+        applies via :meth:`evaluate`.
+        """
+        state = self._clients.get(client)
+        if state is not None and state.verdict == ClientVerdict.CONVICTED:
+            state.verdict = ClientVerdict.SUSPICIOUS
+            state.alarms = max(0, self.config.alarm_threshold - 1)
+            if state.suspicious_since is None:
+                state.suspicious_since = state.last_seen
+
+    def tracked_clients(self) -> int:
+        return len(self._clients)
+
+    def purge(self, now: float, idle_timeout: float) -> int:
+        """Drop state for clients idle longer than ``idle_timeout``."""
+        stale = [
+            client
+            for client, state in self._clients.items()
+            if now - state.last_seen > idle_timeout
+            and state.verdict == ClientVerdict.NORMAL
+        ]
+        for client in stale:
+            del self._clients[client]
+        return len(stale)

@@ -1,0 +1,532 @@
+"""MOPI-FQ: multi-output pseudo-isolated fair queuing.
+
+This is a faithful implementation of the paper's Appendix B pseudocode
+(Figure 13) and the surrounding prose:
+
+- a single **entry pool** of fixed capacity backs all per-output queues;
+  free entries form a linked free list (``avail_slots``);
+- each active output channel has a **flattened calendar queue**
+  (Figure 7c): a doubly-linked run of entries logically divided into
+  scheduling rounds, with per-round tail pointers in a ring buffer
+  (``round_tails``) and per-source latest-round tracking
+  (``source_latest``);
+- an **ordered output sequence** (``out_seq``) keyed by the arrival time
+  of each queue's head message (or the predicted availability time of a
+  congested channel) decides which queue dequeues next -- preserving
+  global arrival order up to fair-scheduling reordering and congestion;
+- a **token bucket per channel** enforces the channel capacity, defined
+  as min(ingress limit of the upstream, egress limit of the resolver).
+
+Enqueue failure modes follow Figure 13 exactly:
+
+- ``FAIL_CLIENT_OVERSPEED``: the source's next round would exceed
+  ``current_round + MAX_ROUND`` -- the client alone is overrunning its
+  fair share window;
+- ``FAIL_CHANNEL_CONGESTED``: the output queue is at ``MAX_POQ_DEPTH``
+  and the message would land in or after the latest round;
+- ``FAIL_QUEUE_OVERFLOW``: the shared pool is exhausted (and the message
+  cannot displace a later-round one).
+
+When a full queue receives a message destined for an *earlier* round
+than the latest (i.e. from a source below its fair share), the message
+at the tail of the latest round is evicted to make room, which is the
+mechanism behind the max-min fairness proof (Appendix B.2: "evicting out
+a message of some other source from the latest round if the queue is
+full").
+
+Per-source shares are supported per Appendix B.1.3: a source with share
+``w`` may place ``w`` messages in each scheduling round.
+
+Complexities, as analysed in B.1: space ``O(|O| + q)``; enqueue and
+dequeue ``O(log |O|)`` (the logarithm comes solely from ``out_seq``).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.server.ratelimit import TokenBucket
+from repro.util.ordmap import OrderedMap
+from repro.util.ringbuf import RingBuffer
+
+
+class EnqueueStatus(enum.Enum):
+    SUCCESS = "success"
+    FAIL_CLIENT_OVERSPEED = "client_overspeed"
+    FAIL_CHANNEL_CONGESTED = "channel_congested"
+    FAIL_QUEUE_OVERFLOW = "queue_overflow"
+
+    @property
+    def ok(self) -> bool:
+        return self is EnqueueStatus.SUCCESS
+
+
+@dataclass
+class MopiFqConfig:
+    """Scheduler parameters (defaults follow the paper's evaluation
+    setup, Section 5: per-queue capacity 100, MAX_ROUND 75, pool 100K)."""
+
+    max_poq_depth: int = 100
+    max_round: int = 75
+    pool_capacity: int = 100_000
+    #: default capacity (queries/second) for channels without an explicit
+    #: entry; the shim overrides per destination.
+    default_channel_rate: float = 1000.0
+    default_channel_burst: Optional[float] = None
+
+
+@dataclass
+class DequeuedMessage:
+    """What :meth:`MopiFq.dequeue` hands back."""
+
+    source: str
+    destination: str
+    payload: Any
+    arr_time: float
+
+
+@dataclass
+class EvictedMessage:
+    """A queued message displaced by a fairer arrival."""
+
+    source: str
+    destination: str
+    payload: Any
+
+
+class _QEntry:
+    """Pool entry: doubly linked, also reused as a free-list node."""
+
+    __slots__ = ("next", "prev", "source", "payload", "arr_time", "round", "in_use")
+
+    def __init__(self) -> None:
+        self.next: Optional["_QEntry"] = None
+        self.prev: Optional["_QEntry"] = None
+        self.source: str = ""
+        self.payload: Any = None
+        self.arr_time: float = 0.0
+        self.round: int = 0
+        self.in_use = False
+
+
+class _PoqState:
+    """Per-output-queue state (``poq_state`` in the pseudocode)."""
+
+    __slots__ = (
+        "depth",
+        "head",
+        "tail",
+        "round_tails",
+        "current_round",
+        "latest_round",
+        "source_latest",
+        "source_count",
+        "out_key",
+    )
+
+    def __init__(self, max_round: int) -> None:
+        self.depth = 0
+        self.head: Optional[_QEntry] = None
+        self.tail: Optional[_QEntry] = None
+        self.round_tails = RingBuffer(max_round)
+        self.current_round = 0
+        #: highest round with a queued message
+        self.latest_round = -1
+        #: source -> [latest round enqueued, remaining quota in that round]
+        self.source_latest: Dict[str, List[int]] = {}
+        #: source -> queued message count (state lifetime per B.1.1)
+        self.source_count: Dict[str, int] = {}
+        #: current key in out_seq, or None when inactive there
+        self.out_key: Optional[Tuple[float, int]] = None
+
+
+@dataclass
+class MopiFqStats:
+    enqueued: int = 0
+    dequeued: int = 0
+    evicted: int = 0
+    fail_overspeed: int = 0
+    fail_congested: int = 0
+    fail_overflow: int = 0
+    dequeue_empty: int = 0
+    #: (source -> messages dequeued) per destination, for fairness checks
+    output_per_source: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+
+class MopiFq:
+    """The MOPI-FQ scheduler.
+
+    ``share_of`` maps a source to its integral share (Section 3.2.1's
+    client share allocation); the default gives everyone share 1.
+    """
+
+    def __init__(
+        self,
+        config: Optional[MopiFqConfig] = None,
+        share_of: Optional[Callable[[str], int]] = None,
+    ) -> None:
+        self.config = config or MopiFqConfig()
+        self.share_of = share_of or (lambda source: 1)
+        # Pre-allocated entry pool with an intrusive free list.
+        self._pool = [_QEntry() for _ in range(self.config.pool_capacity)]
+        for i in range(self.config.pool_capacity - 1):
+            self._pool[i].next = self._pool[i + 1]
+        self._avail: Optional[_QEntry] = self._pool[0] if self._pool else None
+        self.total_depth = 0
+
+        self._poq: Dict[str, _PoqState] = {}
+        self._rate_lim: Dict[str, TokenBucket] = {}
+        self._out_seq: OrderedMap = OrderedMap()
+        self._seq = itertools.count()
+        self.stats = MopiFqStats()
+
+    # ------------------------------------------------------------------
+    # channel configuration
+    # ------------------------------------------------------------------
+    def set_channel_capacity(
+        self, destination: str, rate: float, burst: Optional[float] = None
+    ) -> None:
+        """Fix a channel's capacity: min(upstream ingress RL, own egress
+        RL), learned by probing, operator config, or DCC signaling
+        (Section 3.2.1 footnote)."""
+        self._rate_lim[destination] = TokenBucket(rate, burst)
+
+    def channel_bucket(self, destination: str) -> TokenBucket:
+        bucket = self._rate_lim.get(destination)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.config.default_channel_rate, self.config.default_channel_burst
+            )
+            self._rate_lim[destination] = bucket
+        return bucket
+
+    # ------------------------------------------------------------------
+    # pool plumbing
+    # ------------------------------------------------------------------
+    def _alloc(self) -> Optional[_QEntry]:
+        entry = self._avail
+        if entry is None:
+            return None
+        self._avail = entry.next
+        entry.next = entry.prev = None
+        entry.in_use = True
+        return entry
+
+    def _recycle(self, entry: _QEntry) -> None:
+        entry.payload = None
+        entry.source = ""
+        entry.prev = None
+        entry.in_use = False
+        entry.next = self._avail
+        self._avail = entry
+
+    # ------------------------------------------------------------------
+    # enqueue (Figure 13 right column)
+    # ------------------------------------------------------------------
+    def enqueue(
+        self, source: str, destination: str, payload: Any, now: float
+    ) -> Tuple[EnqueueStatus, Optional[EvictedMessage]]:
+        """Insert a message; returns the status and any evicted victim."""
+        state = self._poq.get(destination)
+        if state is None:
+            state = _PoqState(self.config.max_round)
+            self._poq[destination] = state
+
+        crt_r = state.current_round
+        lat_r = state.latest_round
+        src_nxt = self._src_next_round(state, source)
+
+        if src_nxt >= crt_r + self.config.max_round:
+            self.stats.fail_overspeed += 1
+            self._drop_poq_if_empty(destination, state)
+            return EnqueueStatus.FAIL_CLIENT_OVERSPEED, None
+
+        evicted: Optional[EvictedMessage] = None
+        if state.depth >= self.config.max_poq_depth:
+            if src_nxt >= lat_r:
+                self.stats.fail_congested += 1
+                return EnqueueStatus.FAIL_CHANNEL_CONGESTED, None
+            evicted = self._evict_latest(destination, state)
+            # Eviction of the only entry deactivates the queue; revive it
+            # for the insertion about to happen.
+            self._poq[destination] = state
+
+        if self.total_depth >= self.config.pool_capacity:
+            if src_nxt >= lat_r or state.depth == 0:
+                self.stats.fail_overflow += 1
+                self._drop_poq_if_empty(destination, state)
+                return EnqueueStatus.FAIL_QUEUE_OVERFLOW, None
+            if evicted is None:
+                evicted = self._evict_latest(destination, state)
+                self._poq[destination] = state
+
+        entry = self._alloc()
+        if entry is None:  # pool exhausted despite accounting: defensive
+            self.stats.fail_overflow += 1
+            self._drop_poq_if_empty(destination, state)
+            return EnqueueStatus.FAIL_QUEUE_OVERFLOW, None
+
+        entry.source = source
+        entry.payload = payload
+        entry.arr_time = now
+        entry.round = src_nxt
+        self._append_to_round(destination, state, entry)
+        self._note_enqueue(state, source, src_nxt)
+        self.total_depth += 1
+        self.stats.enqueued += 1
+        return EnqueueStatus.SUCCESS, evicted
+
+    def _src_next_round(self, state: _PoqState, source: str) -> int:
+        """``get_src_next_round``: where this source's next message goes."""
+        latest = state.source_latest.get(source)
+        if latest is None:
+            return state.current_round
+        round_no, quota_left = latest
+        if quota_left > 0:
+            return max(round_no, state.current_round)
+        return max(round_no + 1, state.current_round)
+
+    def _note_enqueue(self, state: _PoqState, source: str, round_no: int) -> None:
+        share = max(1, int(self.share_of(source)))
+        latest = state.source_latest.get(source)
+        if latest is not None and latest[0] == round_no and latest[1] > 0:
+            latest[1] -= 1
+        else:
+            state.source_latest[source] = [round_no, share - 1]
+        state.source_count[source] = state.source_count.get(source, 0) + 1
+
+    def _append_to_round(self, destination: str, state: _PoqState, entry: _QEntry) -> None:
+        """``append_poq_round``: link the entry at the end of its round."""
+        round_no = entry.round
+        anchor: Optional[_QEntry] = state.round_tails.get(round_no)
+        if anchor is None:
+            # End of the nearest non-empty earlier round (bounded scan:
+            # at most MAX_ROUND slots -> constant time).
+            probe = round_no - 1
+            while probe >= state.current_round:
+                anchor = state.round_tails.get(probe)
+                if anchor is not None:
+                    break
+                probe -= 1
+
+        if anchor is None:
+            # New head of the queue.
+            entry.next = state.head
+            if state.head is not None:
+                state.head.prev = entry
+            state.head = entry
+            if state.tail is None:
+                state.tail = entry
+            self._reposition_out_key(destination, state)
+        else:
+            entry.next = anchor.next
+            entry.prev = anchor
+            if anchor.next is not None:
+                anchor.next.prev = entry
+            anchor.next = entry
+            if state.tail is anchor:
+                state.tail = entry
+
+        state.round_tails.set(round_no, entry)
+        if round_no > state.latest_round:
+            state.latest_round = round_no
+        state.depth += 1
+
+    # ------------------------------------------------------------------
+    # dequeue (Figure 13 left column)
+    # ------------------------------------------------------------------
+    def dequeue(self, now: float) -> Optional[DequeuedMessage]:
+        """Pick the ready channel whose head arrived earliest and pop it.
+
+        Congested channels are re-keyed in ``out_seq`` at their predicted
+        availability time; returns ``None`` when no channel is ready
+        (``FAIL_NO_DATA_OR_ALL_CONGESTED``).
+        """
+        while self._out_seq:
+            key, destination = self._out_seq.min_item()
+            if key[0] > now:
+                self.stats.dequeue_empty += 1
+                return None
+            state = self._poq.get(destination)
+            if state is None or state.head is None:  # defensive
+                del self._out_seq[key]
+                continue
+            bucket = self.channel_bucket(destination)
+            if not bucket.try_consume(now):
+                # Skip and retry when the bucket predicts availability.
+                del self._out_seq[key]
+                retry_at = bucket.next_available(now)
+                new_key = (retry_at, next(self._seq))
+                state.out_key = new_key
+                self._out_seq[new_key] = destination
+                continue
+            return self._remove_head(destination, state)
+        self.stats.dequeue_empty += 1
+        return None
+
+    def next_ready_time(self, now: float) -> Optional[float]:
+        """Earliest time a dequeue might succeed; None when empty.
+
+        Drives the event-driven dequeue pump in the shim (the paper's
+        prototype burns a busy-waiting thread instead; virtual time lets
+        us do better without changing behaviour).
+        """
+        if not self._out_seq:
+            return None
+        key, _ = self._out_seq.min_item()
+        return max(key[0], now)
+
+    def _remove_head(self, destination: str, state: _PoqState) -> DequeuedMessage:
+        entry = state.head
+        assert entry is not None
+        result = DequeuedMessage(
+            source=entry.source,
+            destination=destination,
+            payload=entry.payload,
+            arr_time=entry.arr_time,
+        )
+        self._unlink(destination, state, entry)
+        self.stats.dequeued += 1
+        per_dst = self.stats.output_per_source.setdefault(destination, {})
+        per_dst[result.source] = per_dst.get(result.source, 0) + 1
+        return result
+
+    def _evict_latest(self, destination: str, state: _PoqState) -> EvictedMessage:
+        """Displace the tail of the latest round (fairness eviction)."""
+        victim = state.round_tails.get(state.latest_round)
+        assert victim is not None, "latest round must be non-empty"
+        evicted = EvictedMessage(
+            source=victim.source, destination=destination, payload=victim.payload
+        )
+        self._unlink(destination, state, victim)
+        self.stats.evicted += 1
+        return evicted
+
+    def _unlink(self, destination: str, state: _PoqState, entry: _QEntry) -> None:
+        """Remove ``entry`` from its queue, fixing every piece of state."""
+        prev_entry, next_entry = entry.prev, entry.next
+        if prev_entry is not None:
+            prev_entry.next = next_entry
+        if next_entry is not None:
+            next_entry.prev = prev_entry
+        head_changed = state.head is entry
+        if head_changed:
+            state.head = next_entry
+        if state.tail is entry:
+            state.tail = prev_entry
+
+        # Round-tail bookkeeping.
+        if state.round_tails.get(entry.round) is entry:
+            if prev_entry is not None and prev_entry.round == entry.round:
+                state.round_tails.set(entry.round, prev_entry)
+            else:
+                state.round_tails.clear_at(entry.round)
+                if entry.round == state.latest_round:
+                    state.latest_round = prev_entry.round if prev_entry is not None else -1
+
+        # Source bookkeeping: per B.1.1, per-source state lives exactly
+        # as long as the source has messages queued for this output.
+        count = state.source_count.get(entry.source, 0) - 1
+        if count <= 0:
+            state.source_count.pop(entry.source, None)
+            state.source_latest.pop(entry.source, None)
+        else:
+            state.source_count[entry.source] = count
+
+        state.depth -= 1
+        self.total_depth -= 1
+
+        if state.head is None:
+            self._deactivate(destination, state)
+        else:
+            state.current_round = state.head.round
+            if head_changed:
+                self._reposition_out_key(destination, state)
+
+        self._recycle(entry)
+
+    def _reposition_out_key(self, destination: str, state: _PoqState) -> None:
+        """Re-key the channel in out_seq by its (new) head arrival time."""
+        if state.out_key is not None:
+            self._out_seq.pop(state.out_key, None)
+        assert state.head is not None
+        key = (state.head.arr_time, next(self._seq))
+        state.out_key = key
+        self._out_seq[key] = destination
+
+    def _deactivate(self, destination: str, state: _PoqState) -> None:
+        if state.out_key is not None:
+            self._out_seq.pop(state.out_key, None)
+            state.out_key = None
+        del self._poq[destination]
+
+    def _drop_poq_if_empty(self, destination: str, state: _PoqState) -> None:
+        """Undo the speculative poq creation for a failed first enqueue."""
+        if state.depth == 0 and state.out_key is None:
+            self._poq.pop(destination, None)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def active_outputs(self) -> int:
+        return len(self._poq)
+
+    def queue_depth(self, destination: str) -> int:
+        state = self._poq.get(destination)
+        return state.depth if state is not None else 0
+
+    def queued_sources(self, destination: str) -> Dict[str, int]:
+        state = self._poq.get(destination)
+        return dict(state.source_count) if state is not None else {}
+
+    def queue_snapshot(self, destination: str) -> List[Tuple[str, int]]:
+        """(source, round) pairs in queue order, for tests/invariants."""
+        state = self._poq.get(destination)
+        if state is None:
+            return []
+        snapshot = []
+        entry = state.head
+        while entry is not None:
+            snapshot.append((entry.source, entry.round))
+            entry = entry.next
+        return snapshot
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; used by property tests."""
+        depth_sum = 0
+        for destination, state in self._poq.items():
+            snapshot = self.queue_snapshot(destination)
+            assert len(snapshot) == state.depth, f"{destination}: depth mismatch"
+            rounds = [r for _, r in snapshot]
+            assert rounds == sorted(rounds), f"{destination}: rounds not monotone"
+            if rounds:
+                assert rounds[0] == state.current_round
+                assert rounds[-1] == state.latest_round
+                assert state.latest_round < state.current_round + self.config.max_round
+            counts: Dict[str, int] = {}
+            per_round: Dict[int, Dict[str, int]] = {}
+            for source, round_no in snapshot:
+                counts[source] = counts.get(source, 0) + 1
+                per_round.setdefault(round_no, {})
+                per_round[round_no][source] = per_round[round_no].get(source, 0) + 1
+            assert counts == state.source_count, f"{destination}: source counts"
+            for round_no, sources in per_round.items():
+                for source, cnt in sources.items():
+                    share = max(1, int(self.share_of(source)))
+                    assert cnt <= share, (
+                        f"{destination}: source {source} has {cnt} > share {share} "
+                        f"messages in round {round_no}"
+                    )
+            assert state.out_key is not None and state.out_key in self._out_seq
+            depth_sum += state.depth
+        assert depth_sum == self.total_depth, "total_depth mismatch"
+        assert len(self._out_seq) == len(self._poq), "out_seq size mismatch"
+
+    def state_entry_count(self) -> int:
+        """Number of live state entries (Table 1 / Figure 10 accounting):
+        queued messages + per-output structures + per-source trackers."""
+        per_source = sum(len(state.source_latest) for state in self._poq.values())
+        return self.total_depth + len(self._poq) + len(self._rate_lim) + per_source

@@ -1,0 +1,92 @@
+"""Client share-allocation strategies (paper Section 3.2.1).
+
+MOPI-FQ divides each channel among clients *according to their
+predefined shares*.  The paper sketches how operators assign them:
+
+    "One simple strategy is to peg the share to the resolver's ingress
+    rate limit: with a default per-client limit (e.g., 1500 for Google
+    Public DNS), all clients are initially allotted the same share;
+    clients admitted with higher limits get proportionally higher
+    shares. (...) The share allocation can also be based on clients'
+    query histories."
+
+This module provides those strategies as pluggable ``share_of``
+callables for :class:`~repro.dcc.mopifq.MopiFq` /
+:class:`~repro.dcc.shim.DccConfig`:
+
+- :class:`EqualShares` -- everyone gets 1 (the evaluation default);
+- :class:`RateLimitPeggedShares` -- share proportional to the client's
+  admitted ingress rate limit;
+- :class:`HistoryBasedShares` -- share follows a long-horizon EWMA of
+  the client's *benign* query volume, so long-standing heavy users
+  (e.g. a large ISP forwarder) keep proportional capacity while a
+  newcomer cannot buy share by bursting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class EqualShares:
+    """Every client weighs the same (the paper's evaluation setting)."""
+
+    def __call__(self, client: str) -> int:
+        return 1
+
+
+@dataclass
+class RateLimitPeggedShares:
+    """Share proportional to the admitted ingress rate limit.
+
+    ``default_limit`` mirrors the resolver's default per-client ingress
+    limit (e.g. Google's 1500 QPS); clients granted higher limits (ISPs
+    can request raises) receive proportionally higher shares.
+    """
+
+    default_limit: float = 1500.0
+    admitted_limits: Dict[str, float] = field(default_factory=dict)
+    max_share: int = 64
+
+    def admit(self, client: str, limit: float) -> None:
+        """Record an operator-approved rate limit for ``client``."""
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        self.admitted_limits[client] = limit
+
+    def __call__(self, client: str) -> int:
+        limit = self.admitted_limits.get(client, self.default_limit)
+        share = max(1, round(limit / self.default_limit))
+        return min(share, self.max_share)
+
+
+@dataclass
+class HistoryBasedShares:
+    """Share follows a slow EWMA of historical benign query volume.
+
+    ``observe(client, queries, benign)`` feeds the accounting (the shim
+    can call it per monitoring window); the share is the client's EWMA
+    volume relative to the per-client baseline, clamped to
+    [1, max_share].  Convicted windows contribute nothing, so an
+    attacker cannot farm share.
+    """
+
+    baseline: float = 100.0  # queries/window worth one share
+    alpha: float = 0.05  # EWMA smoothing (slow on purpose)
+    max_share: int = 16
+    _ewma: Dict[str, float] = field(default_factory=dict)
+
+    def observe(self, client: str, queries: float, benign: bool = True) -> None:
+        previous = self._ewma.get(client, 0.0)
+        sample = queries if benign else 0.0
+        self._ewma[client] = (1 - self.alpha) * previous + self.alpha * sample
+
+    def __call__(self, client: str) -> int:
+        volume = self._ewma.get(client, 0.0)
+        share = int(math.floor(volume / self.baseline)) + 1
+        return max(1, min(share, self.max_share))
+
+    def history_of(self, client: str) -> float:
+        return self._ewma.get(client, 0.0)

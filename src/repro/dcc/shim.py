@@ -1,0 +1,451 @@
+"""The non-invasive DCC I/O shim (paper Figure 5).
+
+``DccShim`` wraps a vanilla resolver (recursive or forwarder) without
+touching its internals, exactly like the paper's prototype wraps BIND
+via netfilter interception:
+
+- **egress queries** are attributed to the responsible client (via the
+  repurposed EDNS option), checked against pre-queue policies, and
+  buffered in the MOPI-FQ scheduler; queries the scheduler refuses get
+  an immediate synthesised SERVFAIL so the resolver does not waste a
+  timeout (Section 3.2.1);
+- a virtual-time **dequeue pump** plays the role of the prototype's
+  dequeue thread, sending scheduled queries whenever their channel has
+  capacity;
+- **ingress answers** update the anomaly monitor and have DCC signals
+  extracted (and acted upon) before the resolver sees them;
+- **egress responses** to clients get anomaly / policing / congestion
+  signals attached, preferring upstream-originated signals of the same
+  type (Section 3.3.4).
+
+The cache-hit fast path never reaches the shim: DCC only sees resolver
+traffic for cache-missed requests, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.dcc.monitor import AnomalyEvent, AnomalyKind, AnomalyMonitor, ClientVerdict, MonitorConfig
+from repro.dcc.mopifq import EnqueueStatus, MopiFq, MopiFqConfig
+from repro.dcc.policing import (
+    SIGNAL_TRIGGERED_TEMPLATE,
+    PolicyEngine,
+    PolicyKind,
+    PolicyTemplate,
+)
+from repro.dcc.signaling import (
+    AnomalySignal,
+    CapacitySignal,
+    CongestionSignal,
+    PolicingSignal,
+    attach_signal,
+    extract_signals,
+)
+from repro.dcc.state import DccStateTables, PerRequestState
+from repro.dnscore.edns import ClientAttribution, OptionCode
+from repro.dnscore.message import Message
+from repro.dnscore.rdata import RCode
+
+#: attribution used for a resolver's own housekeeping queries (priming
+#: etc.) that no client is responsible for
+LOCAL_SOURCE = "__local__"
+
+
+@dataclass
+class DccConfig:
+    """End-to-end configuration of a DCC instance."""
+
+    scheduler: MopiFqConfig = field(default_factory=MopiFqConfig)
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    policy_templates: Optional[Dict[AnomalyKind, PolicyTemplate]] = None
+    #: enable the in-band signaling mechanism (Figure 9 toggles this)
+    signaling: bool = True
+    #: start policing a suspect when a relayed countdown drops below this
+    countdown_threshold: int = 5
+    #: how much a relaying resolver lowers the countdown (F1 in Figure 6
+    #: uses 5, F2 uses 0)
+    countdown_decrement: int = 0
+    #: entity state idle timeout (paper Section 5: 10 seconds)
+    state_idle_timeout: float = 10.0
+    #: advertise this host's per-client ingress limit via capacity
+    #: signals (Section 3.2.1 footnote), letting DCC-enabled clients pin
+    #: their channel buckets without probing; None disables
+    advertise_ingress_limit: Optional[float] = None
+    #: attach the capacity signal to every Nth response
+    advertise_every: int = 50
+    #: per-client share for MOPI-FQ (Section 3.2.1); default: equal
+    share_of: Optional[Callable[[str], int]] = None
+    #: alternative scheduler factory, for the Figure 7 ablations
+    scheduler_factory: Optional[Callable[[], Any]] = None
+
+
+@dataclass
+class DccShimStats:
+    queries_intercepted: int = 0
+    queries_scheduled: int = 0
+    queries_sent: int = 0
+    queries_policed: int = 0
+    queries_dropped_congestion: int = 0
+    queries_evicted: int = 0
+    servfails_synthesized: int = 0
+    answers_seen: int = 0
+    signals_received: int = 0
+    signals_attached: int = 0
+    signals_relayed: int = 0
+    signal_triggered_policings: int = 0
+    capacities_learned: int = 0
+    capacities_advertised: int = 0
+
+
+class DccShim:
+    """Wraps one resolver/forwarder node with the full DCC control loop.
+
+    ``resolver`` may be a :class:`~repro.server.resolver.RecursiveResolver`
+    or a :class:`~repro.server.forwarder.Forwarder` -- anything exposing
+    the hook surface (``egress_query_hook``, ``ingress_answer_hook``,
+    ``egress_response_hook``), ``raw_send_query`` and ``deliver_answer``.
+    """
+
+    def __init__(self, resolver, config: Optional[DccConfig] = None) -> None:
+        self.resolver = resolver
+        self.config = config or DccConfig()
+        if self.config.scheduler_factory is not None:
+            self.scheduler = self.config.scheduler_factory()
+        else:
+            self.scheduler = MopiFq(self.config.scheduler, share_of=self.config.share_of)
+        self.monitor = AnomalyMonitor(self.config.monitor)
+        self.engine = PolicyEngine(
+            templates=self.config.policy_templates,
+            on_expire=self.monitor.clear_conviction,
+        )
+        self.tables = DccStateTables()
+        self.stats = DccShimStats()
+
+        #: outgoing query id -> (client, client request id, server)
+        self._inflight: Dict[int, Tuple[str, int, str]] = {}
+        self._responses_sent = 0
+        #: upstream capacities learned from capacity signals
+        self.learned_capacities: Dict[str, float] = {}
+        self._pump_event = None
+        self._pump_at: Optional[float] = None
+        self._ticking = False
+
+        resolver.egress_query_hook = self._on_egress_query
+        resolver.ingress_answer_hook = self._on_ingress_answer
+        resolver.egress_response_hook = self._on_egress_response
+
+    # ------------------------------------------------------------------
+    # configuration passthrough
+    # ------------------------------------------------------------------
+    def set_channel_capacity(self, destination: str, rate: float, burst: Optional[float] = None) -> None:
+        """Pin a channel's capacity: min(upstream ingress RL, own egress
+        RL), obtained by probing / operator config / DCC signaling."""
+        self.scheduler.set_channel_capacity(destination, rate, burst)
+
+    @property
+    def now(self) -> float:
+        return self.resolver.now
+
+    def _ensure_ticking(self) -> None:
+        if self._ticking:
+            return
+        self._ticking = True
+        self.resolver.sim.schedule(self.config.monitor.window, self._window_tick)
+        self.resolver.sim.schedule(self.config.state_idle_timeout, self._purge_tick)
+
+    # ------------------------------------------------------------------
+    # egress queries: policing + scheduling
+    # ------------------------------------------------------------------
+    def _attribution(self, query: Message) -> ClientAttribution:
+        option = query.find_edns(OptionCode.CLIENT_ATTRIBUTION)
+        if option is None:
+            return ClientAttribution(client=LOCAL_SOURCE, port=0, request_id=0)
+        return ClientAttribution.decode(option)
+
+    def _on_egress_query(self, query: Message, server: str) -> bool:
+        self._ensure_ticking()
+        now = self.now
+        self.stats.queries_intercepted += 1
+        attribution = self._attribution(query)
+        client = attribution.client
+
+        reqstate: Optional[PerRequestState] = None
+        if client != LOCAL_SOURCE:
+            known = self.tables.get_request(client, attribution.request_id)
+            reqstate = self.tables.open_request(client, attribution.request_id, now)
+            if known is None:
+                # First query for this request: it entered resolution.
+                self.monitor.record_request(client, now)
+            reqstate.queries_attributed += 1
+            self.monitor.record_query(client, now)
+            # Per-request amplification detection: the moment one request
+            # spawns more queries than the threshold, it is anomalous --
+            # robust even when the client is a forwarder whose aggregate
+            # traffic would dilute any ratio metric.
+            if reqstate.queries_attributed == int(self.config.monitor.amplification_threshold) + 1:
+                reqstate.anomaly = AnomalyKind.AMPLIFICATION
+                self.monitor.record_anomalous_request(client, now)
+
+            # Pre-queue policing (Section 3.2.3).
+            if not self.engine.check(client, now):
+                self.stats.queries_policed += 1
+                reqstate.dropped_policing += 1
+                self._synthesize_servfail(query, server)
+                return True
+
+        status, evicted = self.scheduler.enqueue(client, server, (query, server), now)
+        if evicted is not None:
+            self._handle_eviction(evicted, now)
+        if status.ok:
+            self.stats.queries_scheduled += 1
+            if reqstate is not None:
+                reqstate.queries_sent += 1
+            self._pump()
+        else:
+            self.stats.queries_dropped_congestion += 1
+            if reqstate is not None:
+                reqstate.dropped_congestion += 1
+                reqstate.allocated_rate = self._allocated_rate(client, server)
+            self._synthesize_servfail(query, server)
+        return True
+
+    def _allocated_rate(self, client: str, server: str) -> float:
+        bucket = self.scheduler.channel_bucket(server)
+        # Baseline schedulers (ablations) do not track per-channel
+        # source sets; fall back to "sole user" for the advisory rate.
+        queued_sources = getattr(self.scheduler, "queued_sources", None)
+        active = max(1, len(queued_sources(server))) if queued_sources else 1
+        share = 1
+        if self.config.share_of is not None:
+            share = max(1, int(self.config.share_of(client)))
+        return bucket.rate * share / active
+
+    def _handle_eviction(self, evicted, now: float) -> None:
+        self.stats.queries_evicted += 1
+        query, server = evicted.payload
+        attribution = self._attribution(query)
+        if attribution.client != LOCAL_SOURCE:
+            state = self.tables.get_request(attribution.client, attribution.request_id)
+            if state is not None:
+                state.dropped_congestion += 1
+                state.allocated_rate = self._allocated_rate(attribution.client, server)
+        self._synthesize_servfail(query, server)
+
+    def _synthesize_servfail(self, query: Message, server: str) -> None:
+        """Fail the resolver's query immediately instead of letting it
+        time out (Section 3.2.1)."""
+        self.stats.servfails_synthesized += 1
+        response = query.make_response(RCode.SERVFAIL)
+        self.resolver.sim.call_soon(self.resolver.deliver_answer, response, server)
+
+    # ------------------------------------------------------------------
+    # the dequeue pump (the prototype's dequeue thread, event-driven)
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        now = self.now
+        while True:
+            item = self.scheduler.dequeue(now)
+            if item is None:
+                break
+            query, server = item.payload
+            if item.source != LOCAL_SOURCE:
+                self._inflight[query.id] = (
+                    item.source,
+                    self._attribution(query).request_id,
+                    server,
+                )
+            self.stats.queries_sent += 1
+            self.resolver.raw_send_query(query, server)
+        self._arm_pump()
+
+    def _arm_pump(self) -> None:
+        next_time = self.scheduler.next_ready_time(self.now)
+        if next_time is None:
+            return
+        if self._pump_event is not None and self._pump_at is not None:
+            if self._pump_at <= next_time:
+                return  # an earlier (or equal) pump is already armed
+            self._pump_event.cancel()
+        self._pump_at = next_time
+        self._pump_event = self.resolver.sim.schedule_at(next_time, self._pump_fire)
+
+    def _pump_fire(self) -> None:
+        self._pump_event = None
+        self._pump_at = None
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # ingress answers: monitoring + signal processing
+    # ------------------------------------------------------------------
+    def _on_ingress_answer(self, answer: Message, src: str) -> Optional[Message]:
+        now = self.now
+        self.stats.answers_seen += 1
+        info = self._inflight.pop(answer.id, None)
+        client: Optional[str] = None
+        request_id = 0
+        if info is not None:
+            client, request_id, _ = info
+            self.monitor.record_answer(client, answer.rcode, now)
+
+        signals = extract_signals(answer, strip=True)
+        if signals:
+            self.stats.signals_received += len(signals)
+            for signal in signals:
+                if isinstance(signal, CapacitySignal):
+                    self._learn_capacity(src, signal)
+                else:
+                    self._process_upstream_signal(signal, client, request_id, now)
+        return answer
+
+    def _learn_capacity(self, server: str, signal: CapacitySignal) -> None:
+        """Pin the channel bucket at the upstream's advertised ingress
+        limit (Section 3.2.1 footnote: signaled system parameters)."""
+        if not self.config.signaling or signal.ingress_limit <= 0:
+            return
+        previous = self.learned_capacities.get(server)
+        if previous == signal.ingress_limit:
+            return
+        self.learned_capacities[server] = signal.ingress_limit
+        self.scheduler.set_channel_capacity(
+            server, signal.ingress_limit, max(1.0, signal.ingress_limit * 0.1)
+        )
+        self.stats.capacities_learned += 1
+
+    def _process_upstream_signal(
+        self, signal, client: Optional[str], request_id: int, now: float
+    ) -> None:
+        if not self.config.signaling or client is None or client == LOCAL_SOURCE:
+            return
+        if isinstance(signal, AnomalySignal):
+            countdown = max(0, signal.countdown - self.config.countdown_decrement)
+            if signal.countdown <= self.config.countdown_threshold:
+                # Imminent policing upstream: control the culprit now,
+                # before the whole resolver gets policed (Section 3.3.1).
+                self.engine.apply(client, SIGNAL_TRIGGERED_TEMPLATE, now, reason=signal.reason)
+                self.stats.signal_triggered_policings += 1
+            else:
+                self._queue_relay(client, request_id, signal.with_countdown(countdown))
+        elif isinstance(signal, PolicingSignal):
+            # We are being policed upstream.  The signal arrives on every
+            # failing request -- benign clients' included -- so it names
+            # no culprit; per Section 3.3.2 it is propagated to our own
+            # clients and monitoring sensitivity is raised (we failed to
+            # identify the culprit in time), nothing more.
+            self.monitor.raise_sensitivity(now)
+            self._queue_relay(client, request_id, signal)
+        elif isinstance(signal, CongestionSignal):
+            self._queue_relay(client, request_id, signal)
+
+    def _queue_relay(self, client: str, request_id: int, signal) -> None:
+        state = self.tables.get_request(client, request_id)
+        if state is not None:
+            state.relay_signals.append(signal)
+            self.stats.signals_relayed += 1
+
+    # ------------------------------------------------------------------
+    # egress responses: signal attachment
+    # ------------------------------------------------------------------
+    def _on_egress_response(self, response: Message, client: str) -> Message:
+        now = self.now
+        self._responses_sent += 1
+        if (
+            self.config.signaling
+            and self.config.advertise_ingress_limit is not None
+            and (self._responses_sent - 1) % max(1, self.config.advertise_every) == 0
+        ):
+            if attach_signal(
+                response, CapacitySignal(self.config.advertise_ingress_limit)
+            ):
+                self.stats.capacities_advertised += 1
+        reqstate = self.tables.close_request(client, response.id)
+        if reqstate is None or not self.config.signaling:
+            return response
+
+        # Upstream-originated signals first: they take precedence over
+        # local ones of the same type (Section 3.3.4).
+        for signal in reqstate.relay_signals:
+            if attach_signal(response, signal, prefer_existing=True):
+                self.stats.signals_attached += 1
+
+        if reqstate.dropped_policing > 0:
+            policy = self.engine.policy_for(client, now)
+            if policy is not None and attach_signal(
+                response,
+                PolicingSignal(policy.kind, policy.remaining(now), policy.reason),
+            ):
+                self.stats.signals_attached += 1
+
+        # Anomaly signals go only on responses to *anomalous* requests
+        # from a suspicious client (Section 3.3.1) -- never on a benign
+        # sibling's response, or innocuous clients behind the same
+        # forwarder would get policed downstream.
+        if self.monitor.verdict(client) == ClientVerdict.SUSPICIOUS:
+            kind = self.monitor.last_kind(client) or AnomalyKind.RATE
+            request_is_anomalous = reqstate.anomaly is not None or (
+                kind == AnomalyKind.NXDOMAIN and response.rcode == RCode.NXDOMAIN
+            )
+            if request_is_anomalous:
+                if reqstate.anomaly is None:
+                    reqstate.anomaly = kind
+                signal_kind = reqstate.anomaly
+                template = self.engine.templates.get(signal_kind)
+                policy_kind = template.kind if template is not None else PolicyKind.RATE_LIMIT
+                signal = AnomalySignal(
+                    reason=signal_kind,
+                    suspicion_period=self.config.monitor.suspicion_period,
+                    policy=policy_kind,
+                    countdown=self.monitor.countdown(client),
+                )
+                if attach_signal(response, signal):
+                    self.stats.signals_attached += 1
+
+        if reqstate.dropped_congestion > 0:
+            signal = CongestionSignal(
+                dropped=reqstate.dropped_congestion,
+                allocated_rate=reqstate.allocated_rate,
+            )
+            if attach_signal(response, signal):
+                self.stats.signals_attached += 1
+        return response
+
+    # ------------------------------------------------------------------
+    # periodic work
+    # ------------------------------------------------------------------
+    def _window_tick(self) -> None:
+        now = self.now
+        for event in self.monitor.evaluate(now):
+            self._act_on_event(event, now)
+        self.resolver.sim.schedule(self.config.monitor.window, self._window_tick)
+
+    def _act_on_event(self, event: AnomalyEvent, now: float) -> None:
+        if event.convicted:
+            self.engine.convict(event.client, event.kind, now)
+
+    def _purge_tick(self) -> None:
+        now = self.now
+        timeout = self.config.state_idle_timeout
+        self.monitor.purge(now, timeout)
+        self.tables.purge(now)
+        self.engine.sweep(now)
+        self.resolver.sim.schedule(timeout, self._purge_tick)
+
+    # ------------------------------------------------------------------
+    # accounting (Table 1 / Figure 10)
+    # ------------------------------------------------------------------
+    def tracked_clients(self) -> int:
+        return self.monitor.tracked_clients()
+
+    def tracked_servers(self) -> int:
+        if hasattr(self.scheduler, "active_outputs"):
+            return self.scheduler.active_outputs()
+        return 0
+
+    def approx_state_bytes(self) -> int:
+        queued = getattr(self.scheduler, "total_depth", 0)
+        return self.tables.approx_bytes(
+            tracked_clients=self.tracked_clients(),
+            tracked_servers=self.tracked_servers(),
+            queued_messages=queued,
+        )

@@ -1,0 +1,119 @@
+"""DCC runtime state tables (paper Table 1).
+
+DCC maintains state at three granularities, each created and destroyed
+in tandem with the corresponding resolver state:
+
+- **per-client**: monitoring metrics (owned by
+  :class:`~repro.dcc.monitor.AnomalyMonitor`) and pre-queue policies
+  (owned by :class:`~repro.dcc.policing.PolicyEngine`), for policed
+  clients only;
+- **per-server**: queuing state -- per-output queue depth, round
+  pointers, channel token buckets (owned by the scheduler);
+- **per-request**: query statistics and signal status, held here, alive
+  only for the request's lifespan at the resolver.
+
+This module owns the per-request table and aggregates the accounting
+across all three granularities for the Table 1 / Figure 10 measurements
+(entry counts and approximate bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dcc.monitor import AnomalyKind
+
+
+@dataclass
+class PerRequestState:
+    """Query statistics and signal status for one in-flight client
+    request (the last column of Table 1)."""
+
+    client: str
+    request_id: int
+    created_at: float
+    queries_attributed: int = 0
+    queries_sent: int = 0
+    dropped_congestion: int = 0
+    dropped_policing: int = 0
+    #: the anomaly this request exhibited, if any (drives the local
+    #: anomaly signal on its response)
+    anomaly: Optional[AnomalyKind] = None
+    #: signals received from upstream, to relay on the response
+    relay_signals: List[object] = field(default_factory=list)
+    #: fair rate currently allocated to the client on the congested
+    #: channel (reported in congestion signals)
+    allocated_rate: float = 0.0
+
+    #: rough per-entry footprint used by the Figure 10 memory proxy
+    APPROX_BYTES = 96
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.client, self.request_id)
+
+
+class DccStateTables:
+    """The per-request table plus cross-granularity accounting."""
+
+    #: per-client and per-server entry footprints for the memory proxy
+    PER_CLIENT_BYTES = 160  # sliding windows + verdict + policy slot
+    PER_SERVER_BYTES = 120  # queue head/tails + rounds + token bucket
+
+    def __init__(self, request_lifetime: float = 30.0) -> None:
+        self.request_lifetime = request_lifetime
+        self._requests: Dict[Tuple[str, int], PerRequestState] = {}
+        self.created = 0
+        self.completed = 0
+        self.purged = 0
+
+    # ------------------------------------------------------------------
+    # per-request lifecycle
+    # ------------------------------------------------------------------
+    def open_request(self, client: str, request_id: int, now: float) -> PerRequestState:
+        key = (client, request_id)
+        state = self._requests.get(key)
+        if state is None:
+            state = PerRequestState(client=client, request_id=request_id, created_at=now)
+            self._requests[key] = state
+            self.created += 1
+        return state
+
+    def get_request(self, client: str, request_id: int) -> Optional[PerRequestState]:
+        return self._requests.get((client, request_id))
+
+    def close_request(self, client: str, request_id: int) -> Optional[PerRequestState]:
+        state = self._requests.pop((client, request_id), None)
+        if state is not None:
+            self.completed += 1
+        return state
+
+    def purge(self, now: float) -> int:
+        """Drop request entries past their lifetime (leaked by clients
+        that never saw a response, e.g. dropped on the floor upstream)."""
+        stale = [
+            key
+            for key, state in self._requests.items()
+            if now - state.created_at > self.request_lifetime
+        ]
+        for key in stale:
+            del self._requests[key]
+        self.purged += len(stale)
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    # accounting (Table 1 / Figure 10)
+    # ------------------------------------------------------------------
+    def open_request_count(self) -> int:
+        return len(self._requests)
+
+    def approx_bytes(
+        self, tracked_clients: int, tracked_servers: int, queued_messages: int
+    ) -> int:
+        """Approximate resident bytes across all three granularities."""
+        return (
+            tracked_clients * self.PER_CLIENT_BYTES
+            + tracked_servers * self.PER_SERVER_BYTES
+            + (len(self._requests) + queued_messages) * PerRequestState.APPROX_BYTES
+        )

@@ -1,0 +1,84 @@
+"""From-scratch DNS data model.
+
+This subpackage implements the DNS substrate the paper's systems are
+built on: domain names, resource records, messages with EDNS(0), a wire
+codec with name compression, and authoritative zones with RFC-faithful
+lookup semantics (wildcard synthesis, delegations, CNAME chains, negative
+answers).
+
+Nothing here depends on the network or the simulator; it is a pure data
+layer shared by the authoritative server, resolvers, DCC, and the
+workload generators.
+"""
+
+from repro.dnscore.name import Name, ROOT
+from repro.dnscore.rdata import (
+    RRType,
+    RCode,
+    Opcode,
+    RData,
+    AData,
+    AAAAData,
+    NSData,
+    NSECData,
+    CNAMEData,
+    SOAData,
+    TXTData,
+    PTRData,
+    MXData,
+    OPTData,
+)
+from repro.dnscore.rrset import ResourceRecord, RRSet
+from repro.dnscore.message import Question, Message, Flags
+from repro.dnscore.edns import (
+    EdnsOption,
+    OptionCode,
+    ClientAttribution,
+    EDNS_UDP_SIZE,
+    opaque_client_token,
+)
+from repro.dnscore.zone import Zone, LookupResult, LookupStatus
+from repro.dnscore.errors import (
+    DnsError,
+    FormError,
+    NameTooLong,
+    WireDecodeError,
+    ZoneError,
+)
+
+__all__ = [
+    "Name",
+    "ROOT",
+    "RRType",
+    "RCode",
+    "Opcode",
+    "RData",
+    "AData",
+    "AAAAData",
+    "NSData",
+    "NSECData",
+    "CNAMEData",
+    "SOAData",
+    "TXTData",
+    "PTRData",
+    "MXData",
+    "OPTData",
+    "ResourceRecord",
+    "RRSet",
+    "Question",
+    "Message",
+    "Flags",
+    "EdnsOption",
+    "OptionCode",
+    "ClientAttribution",
+    "EDNS_UDP_SIZE",
+    "opaque_client_token",
+    "Zone",
+    "LookupResult",
+    "LookupStatus",
+    "DnsError",
+    "FormError",
+    "NameTooLong",
+    "WireDecodeError",
+    "ZoneError",
+]

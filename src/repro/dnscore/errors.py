@@ -1,0 +1,23 @@
+"""Exception hierarchy for the DNS data layer."""
+
+from __future__ import annotations
+
+
+class DnsError(Exception):
+    """Base class for all errors raised by :mod:`repro.dnscore`."""
+
+
+class FormError(DnsError):
+    """A message or name is structurally malformed."""
+
+
+class NameTooLong(FormError):
+    """A domain name exceeds RFC 1035 limits (255 octets / 63 per label)."""
+
+
+class WireDecodeError(FormError):
+    """The wire codec encountered bytes it cannot decode."""
+
+
+class ZoneError(DnsError):
+    """A zone is inconsistent (e.g. record out of zone, missing SOA)."""

@@ -1,0 +1,163 @@
+"""A master-file-style zone text parser.
+
+Supports the subset of RFC 1035 master syntax that the paper's appendix
+zone files (Figure 12) use, plus what realistic test zones need:
+
+- ``$ORIGIN`` and ``$TTL`` directives;
+- ``@`` for the origin, relative and absolute owner names;
+- blank owner fields (inherit the previous owner);
+- ``;`` comments and ``//`` comments (the paper's listings use the
+  latter);
+- record types A, AAAA, NS, CNAME, SOA, TXT, MX, PTR;
+- optional TTL and class fields in either order.
+
+The parser returns a fully-built :class:`~repro.dnscore.zone.Zone`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dnscore.errors import ZoneError
+from repro.dnscore.name import Name
+from repro.dnscore.rdata import (
+    AAAAData,
+    AData,
+    CNAMEData,
+    MXData,
+    NSData,
+    PTRData,
+    RData,
+    SOAData,
+    TXTData,
+)
+from repro.dnscore.zone import Zone
+
+_TYPES = {"A", "AAAA", "NS", "CNAME", "SOA", "TXT", "MX", "PTR"}
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "//"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.rstrip()
+
+
+def _is_ttl(token: str) -> bool:
+    return token.isdigit()
+
+
+def parse_zone(text: str, origin: Optional[str] = None, default_ttl: int = 300) -> Zone:
+    """Parse zone text into a :class:`Zone`.
+
+    ``origin`` may be supplied by the caller or via a ``$ORIGIN``
+    directive (or the paper-style ``>zone <name> @ <addr>`` header, whose
+    address part is ignored here -- server placement is the simulator's
+    concern).
+    """
+    lines = text.splitlines()
+    zone: Optional[Zone] = None
+    current_origin: Optional[Name] = Name.from_text(origin) if origin else None
+    ttl = default_ttl
+    last_owner: Optional[str] = None
+
+    def ensure_zone() -> Zone:
+        nonlocal zone
+        if zone is None:
+            if current_origin is None:
+                raise ZoneError("no $ORIGIN given and no origin argument supplied")
+            zone = Zone(current_origin, default_ttl=ttl)
+        return zone
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = _strip_comment(raw)
+        if not line.strip():
+            continue
+        leading_ws = line[0] in " \t"
+        tokens = line.split()
+
+        if tokens[0].upper() == "$ORIGIN":
+            current_origin = Name.from_text(tokens[1])
+            continue
+        if tokens[0].upper() == "$TTL":
+            ttl = int(tokens[1])
+            if zone is not None:
+                zone.default_ttl = ttl
+            continue
+        if tokens[0].startswith(">zone"):
+            # Paper-style header: ">zone target-domain @ 127.0.0.1"
+            current_origin = Name.from_text(tokens[1])
+            continue
+
+        z = ensure_zone()
+
+        if leading_ws:
+            owner = last_owner
+            if owner is None:
+                raise ZoneError(f"line {lineno}: no previous owner to inherit")
+        else:
+            owner = tokens.pop(0)
+            last_owner = owner
+
+        record_ttl = ttl
+        # Optional TTL and/or class before the type, in either order.
+        while tokens and tokens[0].upper() not in _TYPES:
+            token = tokens.pop(0)
+            if _is_ttl(token):
+                record_ttl = int(token)
+            elif token.upper() == "IN":
+                continue
+            else:
+                raise ZoneError(f"line {lineno}: unexpected token {token!r}")
+        if not tokens:
+            raise ZoneError(f"line {lineno}: missing record type")
+
+        rrtype = tokens.pop(0).upper()
+        rdata = _parse_rdata(z, rrtype, tokens, lineno)
+        z.add(owner, rdata, ttl=record_ttl)
+
+    if zone is None:
+        raise ZoneError("zone text contained no records")
+    return zone
+
+
+def _parse_rdata(zone: Zone, rrtype: str, tokens: List[str], lineno: int) -> RData:
+    def need(count: int) -> None:
+        if len(tokens) < count:
+            raise ZoneError(f"line {lineno}: {rrtype} needs {count} field(s)")
+
+    if rrtype == "A":
+        need(1)
+        return AData(tokens[0])
+    if rrtype == "AAAA":
+        need(1)
+        return AAAAData(tokens[0])
+    if rrtype == "NS":
+        need(1)
+        return NSData(zone._absolute(tokens[0]))
+    if rrtype == "CNAME":
+        need(1)
+        return CNAMEData(zone._absolute(tokens[0]))
+    if rrtype == "PTR":
+        need(1)
+        return PTRData(zone._absolute(tokens[0]))
+    if rrtype == "MX":
+        need(2)
+        return MXData(int(tokens[0]), zone._absolute(tokens[1]))
+    if rrtype == "TXT":
+        need(1)
+        text = " ".join(tokens)
+        return TXTData(text.strip('"'))
+    if rrtype == "SOA":
+        need(7)
+        return SOAData(
+            mname=zone._absolute(tokens[0]),
+            rname=zone._absolute(tokens[1]),
+            serial=int(tokens[2]),
+            refresh=int(tokens[3]),
+            retry=int(tokens[4]),
+            expire=int(tokens[5]),
+            minimum=int(tokens[6]),
+        )
+    raise ZoneError(f"line {lineno}: unsupported record type {rrtype}")

@@ -1,0 +1,23 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every module exposes ``run_*`` functions returning structured results
+plus a ``main()`` that prints the same rows/series the paper reports.
+All drivers accept scale knobs so the test/benchmark suites can run them
+quickly; the defaults reproduce the paper's parameters.
+
+========================  ==========================================
+Module                    Reproduces
+========================  ==========================================
+``fig2_ratelimits``       Figure 2 (rate limits of 45 open resolvers)
+``fig4_attacks``          Figure 4 (attack validation, setups a-d)
+``fig8_resilience``       Figure 8 (DCC vs vanilla, three scenarios)
+``fig9_signaling``        Figure 9 (signaling on/off on a fwd chain)
+``fig10_overhead``        Figure 10 (state scaling: CPU/memory proxy)
+``fig11_delay``           Figure 11 (added processing delay CDF)
+``table1_state``          Table 1 (DCC state vs resolver state)
+========================  ==========================================
+"""
+
+from repro.experiments.common import AttackScenario, ScenarioConfig, ScenarioResult
+
+__all__ = ["AttackScenario", "ScenarioConfig", "ScenarioResult"]

@@ -1,0 +1,401 @@
+"""Shared scenario machinery for the attack/defense experiments.
+
+Builds the Figure 3 topologies in a simulator:
+
+- a root authoritative server delegating the experiment domains;
+- one or more **target** authoritative servers (the congested RA
+  channel's upstream end) with optional ingress RL;
+- an **attacker** authoritative server hosting the FF zone;
+- one or more recursive resolvers (optionally DCC-enabled);
+- an optional forwarder in front (setups c/d), itself optionally
+  DCC-enabled;
+- the Table 2 client population.
+
+Metrics: per-client effective QPS (successful responses per second,
+the Figure 8 metric), per-client on-the-wire query series measured at
+the resolver egress tap (the Figure 8c FF metric), and windowed success
+ratios (the Figure 4 metric).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.dcc.monitor import MonitorConfig
+from repro.dcc.mopifq import MopiFqConfig
+from repro.dcc.shim import DccConfig, DccShim
+from repro.dnscore.edns import ClientAttribution, OptionCode
+from repro.dnscore.message import Message, Question
+from repro.netsim.link import Network
+from repro.netsim.sim import Simulator
+from repro.analysis.series import TimeSeries
+from repro.server.authoritative import AuthoritativeServer
+from repro.server.forwarder import Forwarder, ForwarderConfig
+from repro.server.ratelimit import RateLimitAction, RateLimitConfig
+from repro.server.resolver import RecursiveResolver, ResolverConfig
+from repro.workloads.clients import ClientConfig, StubClient
+from repro.workloads.patterns import (
+    FanoutPattern,
+    NxdomainPattern,
+    QueryPattern,
+    WildcardPattern,
+)
+from repro.workloads.schedule import ClientSpec
+from repro.workloads.zonegen import (
+    build_ff_attacker_zone,
+    build_root_zone,
+    build_target_zone,
+)
+
+TARGET_ORIGIN = "target-domain."
+ATTACKER_ORIGIN = "attacker-com."
+ROOT_ADDR = "10.0.0.1"
+ATTACKER_ANS_ADDR = "10.0.0.3"
+
+
+class SwitchingPattern(QueryPattern):
+    """Switches from one pattern to another at a fixed virtual time.
+
+    Used for the Figure 8(b) heavy client, which abuses the NX pattern
+    for its first 20 seconds and then behaves (WC).
+    """
+
+    tag = "SW"
+
+    def __init__(self, before: QueryPattern, after: QueryPattern, switch_at: float, clock: Callable[[], float]) -> None:
+        self.before = before
+        self.after = after
+        self.switch_at = switch_at
+        self._clock = clock
+
+    def next_question(self, rng: random.Random) -> Question:
+        pattern = self.after if self._clock() >= self.switch_at else self.before
+        return pattern.next_question(rng)
+
+
+@dataclass
+class ScenarioConfig:
+    """Knobs for one attack/defense scenario run."""
+
+    seed: int = 42
+    duration: float = 60.0
+    #: capacity (QPS) of each resolver->target-ANS channel
+    channel_capacity: float = 1000.0
+    #: capacity of the forwarder->resolver channel, if a forwarder exists
+    rr_channel_capacity: Optional[float] = None
+    use_dcc: bool = False
+    dcc_signaling: bool = True
+    #: DCC on the forwarder too (Figure 9 uses DCC at both hops)
+    dcc_on_forwarder: bool = False
+    max_poq_depth: int = 100
+    max_round: int = 75
+    pool_capacity: int = 100_000
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    #: anomaly-kind -> PolicyTemplate overrides (None = paper defaults)
+    policy_templates: Optional[Dict] = None
+    countdown_threshold: int = 5
+    target_ans_count: int = 1
+    resolver_count: int = 1
+    with_forwarder: bool = False
+    #: round-robin client requests across upstream resolvers (large
+    #: resolver systems distribute requests over their egress set);
+    #: False = primary-with-failover, typical of small forwarders
+    forwarder_rotate: bool = False
+    #: which clients sit behind the forwarder (names); others talk to
+    #: the recursive resolver(s) directly
+    forwarded_clients: Optional[List[str]] = None
+    ff_fanout: int = 7
+    ff_instances: int = 200
+    #: resolver-side knobs
+    qname_minimization: bool = False
+    client_timeout: float = 2.0
+    client_attempts: int = 1
+    dcc_aware_clients: bool = False
+    #: how the vanilla channel cap is enforced at the target ANS
+    rl_action: RateLimitAction = RateLimitAction.DROP
+    #: swap MOPI-FQ for a Figure 7 baseline scheduler (ablations); the
+    #: factory is called once per DCC instance
+    scheduler_factory: Optional[Callable[[], object]] = None
+    #: per-client MOPI-FQ shares (Section 3.2.1); maps *addresses*
+    share_of: Optional[Callable[[str], int]] = None
+    #: wildcard answer TTLs (1 s: cache-bypassing, as in the attacks)
+    answer_ttl: int = 1
+
+
+@dataclass
+class ScenarioResult:
+    clients: Dict[str, StubClient]
+    #: per-client successful responses per second (Figure 8 metric)
+    effective_qps: Dict[str, List[float]]
+    #: per-client queries on the resolver->ANS wire per second
+    wire_qps: Dict[str, List[float]]
+    duration: float
+    resolver_stats: List[object]
+    ans_queries: int
+    events_processed: int
+
+    def success_ratio(self, client: str, since: float, until: float) -> float:
+        return self.clients[client].success_ratio(since, until)
+
+
+class AttackScenario:
+    """Builds and runs one Figure 3/Table 2 style scenario."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.net = Network(self.sim)
+        self.clients: Dict[str, StubClient] = {}
+        self.shims: List[DccShim] = []
+        self._client_addr: Dict[str, str] = {}
+        self._wire_series: Dict[str, TimeSeries] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        cfg = self.config
+
+        self.target_ans_addrs = [f"10.0.0.{2 + 10 * i}" for i in range(cfg.target_ans_count)]
+        delegations = {ATTACKER_ORIGIN: ("ns1.attacker-com.", ATTACKER_ANS_ADDR)}
+        root_zone = build_root_zone({TARGET_ORIGIN: ("ns1.target-domain.", self.target_ans_addrs[0])})
+        # Redundant target servers: one NS record + glue per server.
+        for i, addr in enumerate(self.target_ans_addrs[1:], start=2):
+            root_zone.add_ns(TARGET_ORIGIN, f"ns{i}.target-domain.")
+            root_zone.add_a(f"ns{i}.target-domain.", addr)
+        root_zone.add_ns(ATTACKER_ORIGIN, "ns1.attacker-com.")
+        root_zone.add_a("ns1.attacker-com.", ATTACKER_ANS_ADDR)
+        self.root = AuthoritativeServer(ROOT_ADDR, zones=[root_zone])
+        self.net.attach(self.root)
+
+        # Target zone (shared content across redundant servers).
+        self.target_ans: List[AuthoritativeServer] = []
+        for i, addr in enumerate(self.target_ans_addrs):
+            zone = build_target_zone(
+                TARGET_ORIGIN,
+                f"ns{i + 1}" if i else "ns1",
+                addr,
+                answer_ttl=cfg.answer_ttl,
+                negative_ttl=cfg.answer_ttl,
+                ff_ttl=cfg.answer_ttl,
+            )
+            # The vanilla channel cap: ingress RL at the target server.
+            # DCC-enabled runs keep it too (DCC stays below it, so it
+            # never fires -- exactly the deployment story).
+            ans = AuthoritativeServer(
+                addr,
+                zones=[zone],
+                # BIND-RRL-style fixed-window response limiting: first
+                # `capacity` responses per second pass, the rest drop.
+                ingress_limit=RateLimitConfig(
+                    rate=cfg.channel_capacity,
+                    action=cfg.rl_action,
+                    mode="window",
+                ),
+            )
+            self.target_ans.append(ans)
+            self.net.attach(ans)
+
+        attacker_zone = build_ff_attacker_zone(
+            ATTACKER_ORIGIN,
+            TARGET_ORIGIN,
+            "ns1",
+            ATTACKER_ANS_ADDR,
+            instances=cfg.ff_instances,
+            fanout=cfg.ff_fanout,
+        )
+        self.attacker_ans = AuthoritativeServer(ATTACKER_ANS_ADDR, zones=[attacker_zone])
+        self.net.attach(self.attacker_ans)
+
+        # Recursive resolvers.
+        self.resolvers: List[RecursiveResolver] = []
+        for i in range(cfg.resolver_count):
+            resolver = RecursiveResolver(
+                f"10.0.1.{i + 1}",
+                ResolverConfig(qname_minimization=cfg.qname_minimization),
+            )
+            resolver.add_root_hint("a.root-servers.net.", ROOT_ADDR)
+            resolver.egress_tap = self._make_tap()
+            self.net.attach(resolver)
+            if cfg.use_dcc:
+                shim = DccShim(
+                    resolver,
+                    DccConfig(
+                        scheduler=MopiFqConfig(
+                            max_poq_depth=cfg.max_poq_depth,
+                            max_round=cfg.max_round,
+                            pool_capacity=cfg.pool_capacity,
+                            default_channel_rate=cfg.channel_capacity * 10,
+                        ),
+                        monitor=cfg.monitor,
+                        policy_templates=cfg.policy_templates,
+                        signaling=cfg.dcc_signaling,
+                        countdown_threshold=cfg.countdown_threshold,
+                        scheduler_factory=cfg.scheduler_factory,
+                        share_of=cfg.share_of,
+                    ),
+                )
+                for addr in self.target_ans_addrs:
+                    shim.set_channel_capacity(
+                        addr, cfg.channel_capacity, max(1.0, cfg.channel_capacity * 0.1)
+                    )
+                self.shims.append(shim)
+            self.resolvers.append(resolver)
+
+        # Optional forwarder in front of the resolvers.
+        self.forwarder: Optional[Forwarder] = None
+        if cfg.with_forwarder:
+            self.forwarder = Forwarder(
+                "10.0.2.1",
+                ForwarderConfig(
+                    upstreams=[r.address for r in self.resolvers],
+                    query_timeout=cfg.client_timeout,
+                    rotate=cfg.forwarder_rotate,
+                ),
+            )
+            self.forwarder.egress_tap = self._make_tap()
+            self.net.attach(self.forwarder)
+            if cfg.use_dcc and cfg.dcc_on_forwarder:
+                shim = DccShim(
+                    self.forwarder,
+                    DccConfig(
+                        scheduler=MopiFqConfig(
+                            max_poq_depth=cfg.max_poq_depth,
+                            max_round=cfg.max_round,
+                            pool_capacity=cfg.pool_capacity,
+                            default_channel_rate=(cfg.rr_channel_capacity or cfg.channel_capacity) * 10,
+                        ),
+                        monitor=cfg.monitor,
+                        policy_templates=cfg.policy_templates,
+                        signaling=cfg.dcc_signaling,
+                        countdown_threshold=cfg.countdown_threshold,
+                        scheduler_factory=cfg.scheduler_factory,
+                    ),
+                )
+                if cfg.rr_channel_capacity is not None:
+                    for resolver in self.resolvers:
+                        shim.set_channel_capacity(
+                            resolver.address,
+                            cfg.rr_channel_capacity,
+                            max(1.0, cfg.rr_channel_capacity * 0.1),
+                        )
+                self.shims.append(shim)
+            if cfg.rr_channel_capacity is not None and not cfg.use_dcc:
+                # Vanilla RR channel cap: ingress RL at the resolvers.
+                for resolver in self.resolvers:
+                    resolver.ingress_rl = None  # replaced below
+                    resolver.config.ingress_limit = RateLimitConfig(
+                        rate=cfg.rr_channel_capacity,
+                        action=cfg.rl_action,
+                        mode="window",
+                    )
+                    from repro.server.ratelimit import RateLimiter
+
+                    resolver.ingress_rl = RateLimiter(resolver.config.ingress_limit)
+
+    def _make_tap(self):
+        """Per-second wire accounting keyed by attributed client."""
+        duration = self.config.duration
+
+        def tap(query: Message, server: str) -> None:
+            if server not in self.target_ans_addrs:
+                return
+            option = query.find_edns(OptionCode.CLIENT_ATTRIBUTION)
+            if option is None:
+                return
+            client_addr = ClientAttribution.decode(option).client
+            name = self._addr_to_name(client_addr)
+            if name is None:
+                return
+            series = self._wire_series.get(name)
+            if series is None:
+                series = TimeSeries(duration)
+                self._wire_series[name] = series
+            series.add(self.sim.now)
+
+        return tap
+
+    def _addr_to_name(self, address: str) -> Optional[str]:
+        for name, addr in self._client_addr.items():
+            if addr == address:
+                return name
+        # Queries attributed to the forwarder belong to whichever of its
+        # clients originated them; at the resolver hop we cannot tell
+        # (the paper's visibility problem), so they are accounted to the
+        # forwarder pseudo-client.
+        if self.forwarder is not None and address == self.forwarder.address:
+            return "__forwarder__"
+        return None
+
+    # ------------------------------------------------------------------
+    # clients
+    # ------------------------------------------------------------------
+    def add_clients(self, specs: List[ClientSpec]) -> None:
+        cfg = self.config
+        for i, spec in enumerate(specs):
+            behind_forwarder = cfg.with_forwarder and (
+                cfg.forwarded_clients is None or spec.name in cfg.forwarded_clients
+            )
+            if behind_forwarder:
+                resolvers = [self.forwarder.address]
+            else:
+                resolvers = [r.address for r in self.resolvers]
+            address = f"10.1.{'9' if spec.is_attacker else '0'}.{i + 1}"
+            client = StubClient(
+                address,
+                self._pattern_for(spec),
+                ClientConfig(
+                    rate=spec.rate,
+                    start=spec.start,
+                    stop=min(spec.stop, cfg.duration),
+                    resolvers=resolvers,
+                    request_timeout=cfg.client_timeout,
+                    max_attempts=cfg.client_attempts,
+                    dcc_aware=cfg.dcc_aware_clients and not spec.is_attacker,
+                ),
+            )
+            self.net.attach(client)
+            self.clients[spec.name] = client
+            self._client_addr[spec.name] = address
+
+    def _pattern_for(self, spec: ClientSpec) -> QueryPattern:
+        if spec.pattern == "WC":
+            return WildcardPattern(TARGET_ORIGIN)
+        if spec.pattern == "NX":
+            return NxdomainPattern(TARGET_ORIGIN)
+        if spec.pattern == "FF":
+            return FanoutPattern(ATTACKER_ORIGIN, self.config.ff_instances)
+        if spec.pattern == "NX_THEN_WC":
+            switch_at = spec.start + (20.0 / 60.0) * (spec.stop - spec.start)
+            return SwitchingPattern(
+                NxdomainPattern(TARGET_ORIGIN),
+                WildcardPattern(TARGET_ORIGIN),
+                switch_at=switch_at,
+                clock=lambda: self.sim.now,
+            )
+        raise ValueError(f"unknown pattern {spec.pattern!r}")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, grace: float = 3.0) -> ScenarioResult:
+        for client in self.clients.values():
+            client.start()
+        self.sim.run(until=self.config.duration + grace)
+        effective = {
+            name: client.effective_qps_series(self.config.duration)
+            for name, client in self.clients.items()
+        }
+        wire = {name: series.rates() for name, series in self._wire_series.items()}
+        return ScenarioResult(
+            clients=self.clients,
+            effective_qps=effective,
+            wire_qps=wire,
+            duration=self.config.duration,
+            resolver_stats=[r.stats for r in self.resolvers],
+            ans_queries=sum(a.stats.queries_received for a in self.target_ans),
+            events_processed=self.sim.events_processed,
+        )

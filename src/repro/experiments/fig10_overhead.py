@@ -1,0 +1,186 @@
+"""Figure 10: DCC's performance overhead under varying entity counts.
+
+The paper drives 4 clients x 750 QPS of WC traffic while mapping query
+names onto synthetic client/server ID spaces of 10K-100K entities, then
+reports the DCC process's CPU load and memory alongside BIND's.
+
+Substitutions for the Python reproduction (documented in DESIGN.md):
+
+- **CPU** -> wall-clock throughput (operations/second) of the DCC
+  control-path (pre-queue check, MOPI-FQ enqueue/dequeue, monitor
+  updates) and, as the baseline, of the vanilla resolver's own
+  per-request path (cache insert/lookup + pending bookkeeping).  The
+  paper's observation to reproduce: DCC's cost is *insensitive* to the
+  number of tracked entities (constant/logarithmic operations).
+- **Memory** -> deep ``getsizeof`` over each side's state containers.
+  The observations to reproduce: DCC's footprint grows with entity
+  count but stays *below* the resolver's own state, and is more
+  sensitive to servers than clients.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.memsize import approx_deep_size
+from repro.analysis.report import render_table
+from repro.dcc.monitor import AnomalyMonitor, MonitorConfig
+from repro.dcc.mopifq import MopiFq, MopiFqConfig
+from repro.dcc.policing import PolicyEngine
+from repro.dcc.state import DccStateTables
+from repro.dnscore.name import Name
+from repro.dnscore.rdata import AData, RCode, RRType
+from repro.dnscore.rrset import ResourceRecord, RRSet
+from repro.server.cache import ResolverCache
+
+
+@dataclass
+class OverheadPoint:
+    clients: int
+    servers: int
+    dcc_ops_per_sec: float
+    resolver_ops_per_sec: float
+    dcc_state_bytes: int
+    resolver_state_bytes: int
+
+
+def _drive_dcc(n_clients: int, n_servers: int, ops: int, seed: int = 11) -> OverheadPoint:
+    """Run ``ops`` control-loop iterations over the given ID spaces."""
+    import random
+
+    rng = random.Random(seed)
+    scheduler = MopiFq(
+        MopiFqConfig(max_poq_depth=100, max_round=75, pool_capacity=100_000,
+                     default_channel_rate=10_000.0)
+    )
+    monitor = AnomalyMonitor(MonitorConfig())
+    engine = PolicyEngine()
+    tables = DccStateTables()
+
+    clients = [f"10.{i >> 16 & 255}.{i >> 8 & 255}.{i & 255}" for i in range(n_clients)]
+    servers = [f"172.{i >> 16 & 255}.{i >> 8 & 255}.{i & 255}" for i in range(n_servers)]
+
+    # Warm the tables to the target entity counts, as the paper starts
+    # collecting data once the expected number of entities is tracked.
+    now = 0.0
+    for i, client in enumerate(clients):
+        monitor.record_request(client, now)
+    for i, server in enumerate(servers):
+        scheduler.channel_bucket(server)
+
+    start = time.perf_counter()
+    request_id = 0
+    for i in range(ops):
+        now += 0.0005
+        client = clients[rng.randrange(n_clients)]
+        server = servers[rng.randrange(n_servers)]
+        request_id += 1
+        state = tables.open_request(client, request_id, now)
+        engine.check(client, now)
+        monitor.record_query(client, now)
+        state.queries_attributed += 1
+        scheduler.enqueue(client, server, i, now)
+        item = scheduler.dequeue(now)
+        if item is not None:
+            monitor.record_answer(item.source, RCode.NOERROR, now)
+        tables.close_request(client, request_id)
+    elapsed = time.perf_counter() - start
+    dcc_ops = ops / elapsed if elapsed > 0 else float("inf")
+
+    dcc_bytes = (
+        approx_deep_size(monitor._clients)
+        + approx_deep_size(scheduler._poq)
+        + approx_deep_size(scheduler._rate_lim)
+        + approx_deep_size(tables._requests)
+    )
+
+    # Vanilla-resolver baseline over the same entity scale: per-server
+    # state (NS info + addresses in cache) and per-client state (ingress
+    # RL / policing buckets), per Table 1's left column -- plus the
+    # per-request cache path as the compute cost.
+    from repro.server.ratelimit import RateLimitConfig, RateLimiter
+
+    cache = ResolverCache(max_entries=max(n_clients, n_servers) * 2)
+    for i, server in enumerate(servers):
+        name = Name.from_text(f"ns{i}.zone{i % 997}.example.")
+        cache.put_rrset(RRSet.of(ResourceRecord(name, 3600, AData(server))), now)
+    ingress = RateLimiter(RateLimitConfig(rate=1500.0))
+    for client in clients:
+        ingress.allow(client, now)
+    qnames = [Name.from_text(f"q{i}.zone{i % 997}.example.") for i in range(2048)]
+    start = time.perf_counter()
+    for i in range(ops):
+        name = qnames[i % len(qnames)]
+        ingress.allow(clients[i % n_clients], now)
+        entry = cache.get(name, RRType.A, now)
+        if entry is None:
+            cache.put_rrset(RRSet.of(ResourceRecord(name, 1, AData("192.0.2.1"))), now)
+    elapsed = time.perf_counter() - start
+    resolver_ops = ops / elapsed if elapsed > 0 else float("inf")
+    resolver_bytes = approx_deep_size(cache._entries) + approx_deep_size(ingress._entries)
+
+    return OverheadPoint(
+        clients=n_clients,
+        servers=n_servers,
+        dcc_ops_per_sec=dcc_ops,
+        resolver_ops_per_sec=resolver_ops,
+        dcc_state_bytes=dcc_bytes,
+        resolver_state_bytes=resolver_bytes,
+    )
+
+
+def run_server_sweep(
+    server_counts: Optional[List[int]] = None,
+    clients: int = 1000,
+    ops: int = 50_000,
+) -> List[OverheadPoint]:
+    """Figure 10(a): fixed 1K clients, varying server counts."""
+    counts = server_counts or [10_000, 20_000, 40_000, 60_000, 80_000, 100_000]
+    return [_drive_dcc(clients, n, ops) for n in counts]
+
+
+def run_client_sweep(
+    client_counts: Optional[List[int]] = None,
+    servers: int = 1000,
+    ops: int = 50_000,
+) -> List[OverheadPoint]:
+    """Figure 10(b): fixed 1K servers, varying client counts."""
+    counts = client_counts or [10_000, 20_000, 40_000, 60_000, 80_000, 100_000]
+    return [_drive_dcc(n, servers, ops) for n in counts]
+
+
+def main(ops: int = 50_000, quick: bool = False) -> None:
+    counts = [10_000, 40_000, 100_000] if quick else None
+    print("=== Figure 10(a): fixed 1K clients, varying servers ===")
+    rows = []
+    for p in run_server_sweep(counts, ops=ops):
+        rows.append([
+            f"{p.servers:,}",
+            f"{p.dcc_ops_per_sec:,.0f}",
+            f"{p.resolver_ops_per_sec:,.0f}",
+            f"{p.dcc_state_bytes / 1e6:.1f} MB",
+            f"{p.resolver_state_bytes / 1e6:.1f} MB",
+        ])
+    print(render_table(
+        ["servers", "DCC ops/s", "resolver ops/s", "DCC state", "resolver state"], rows))
+
+    print("\n=== Figure 10(b): fixed 1K servers, varying clients ===")
+    rows = []
+    for p in run_client_sweep(counts, ops=ops):
+        rows.append([
+            f"{p.clients:,}",
+            f"{p.dcc_ops_per_sec:,.0f}",
+            f"{p.resolver_ops_per_sec:,.0f}",
+            f"{p.dcc_state_bytes / 1e6:.1f} MB",
+            f"{p.resolver_state_bytes / 1e6:.1f} MB",
+        ])
+    print(render_table(
+        ["clients", "DCC ops/s", "resolver ops/s", "DCC state", "resolver state"], rows))
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(quick="--quick" in sys.argv)

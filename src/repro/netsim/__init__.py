@@ -1,0 +1,23 @@
+"""Discrete-event network simulation substrate.
+
+The paper evaluates on BIND 9 instances spread over cloud VMs; this
+reproduction replaces that testbed with a deterministic virtual-time
+simulator:
+
+- :class:`repro.netsim.sim.Simulator` -- event heap + virtual clock;
+- :class:`repro.netsim.link.Network` -- message delivery with
+  configurable per-pair latency, jitter and loss;
+- :class:`repro.netsim.node.Node` -- base class for every DNS entity
+  (stub client, forwarder, recursive resolver, authoritative server,
+  DCC shim).
+
+Virtual time is in seconds (float).  All randomness flows through named
+PRNG streams owned by the simulator, so every experiment is exactly
+reproducible from its seed.
+"""
+
+from repro.netsim.sim import Simulator, Event
+from repro.netsim.link import Network, LinkSpec
+from repro.netsim.node import Node
+
+__all__ = ["Simulator", "Event", "Network", "LinkSpec", "Node"]

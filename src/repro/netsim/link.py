@@ -1,0 +1,99 @@
+"""Message delivery between nodes.
+
+The :class:`Network` plays the role of the Internet between the paper's
+DigitalOcean data centers: it knows every node by address and delivers
+DNS messages with configurable one-way latency, jitter, and loss.  DNS
+over UDP is connectionless, so an unknown destination or a lossy link
+simply swallows the message -- timeouts and retries are the endpoints'
+problem, exactly as in the real system (and the retry behaviour is part
+of what makes adversarial congestion bite, cf. Figure 4b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dnscore.message import Message
+    from repro.netsim.node import Node
+    from repro.netsim.sim import Simulator
+
+
+@dataclass
+class LinkSpec:
+    """Delivery characteristics for one (src, dst) direction."""
+
+    latency: float = 0.0005  # one-way, seconds (paper reports ~1 ms RTT)
+    jitter: float = 0.0
+    loss: float = 0.0
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transport counters."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_lost: int = 0
+    messages_unroutable: int = 0
+    bytes_sent: int = 0
+
+
+class Network:
+    """Address-indexed message fabric with per-pair link specs."""
+
+    def __init__(self, sim: "Simulator", default_link: Optional[LinkSpec] = None) -> None:
+        self.sim = sim
+        self.default_link = default_link or LinkSpec()
+        self._nodes: Dict[str, "Node"] = {}
+        self._links: Dict[Tuple[str, str], LinkSpec] = {}
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def attach(self, node: "Node") -> None:
+        if node.address in self._nodes:
+            raise ValueError(f"address {node.address} already attached")
+        self._nodes[node.address] = node
+        node.network = self
+        node.sim = self.sim
+
+    def detach(self, address: str) -> None:
+        self._nodes.pop(address, None)
+
+    def node(self, address: str) -> Optional["Node"]:
+        return self._nodes.get(address)
+
+    def set_link(self, src: str, dst: str, spec: LinkSpec, symmetric: bool = True) -> None:
+        self._links[(src, dst)] = spec
+        if symmetric:
+            self._links[(dst, src)] = spec
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        return self._links.get((src, dst), self.default_link)
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, message: "Message") -> None:
+        """Fire-and-forget datagram semantics."""
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += message.wire_length()
+        spec = self.link(src, dst)
+        if spec.loss > 0 and self.sim.rng("network.loss").random() < spec.loss:
+            self.stats.messages_lost += 1
+            return
+        delay = spec.latency
+        if spec.jitter > 0:
+            delay += self.sim.rng("network.jitter").uniform(0, spec.jitter)
+        self.sim.schedule(delay, self._deliver, src, dst, message)
+
+    def _deliver(self, src: str, dst: str, message: "Message") -> None:
+        node = self._nodes.get(dst)
+        if node is None:
+            self.stats.messages_unroutable += 1
+            return
+        self.stats.messages_delivered += 1
+        node.receive(message, src)

@@ -1,0 +1,40 @@
+"""Base class for simulated network entities."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dnscore.message import Message
+    from repro.netsim.link import Network
+    from repro.netsim.sim import Simulator
+
+
+class Node:
+    """Anything with an address that can send and receive DNS messages.
+
+    Subclasses: stub clients, attackers, forwarders, recursive resolvers,
+    authoritative servers, and the DCC shim (which interposes between a
+    resolver and the network without the resolver noticing -- the paper's
+    non-invasive architecture, Figure 5).
+    """
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self.network: Optional["Network"] = None
+        self.sim: Optional["Simulator"] = None
+
+    @property
+    def now(self) -> float:
+        assert self.sim is not None, f"{self.address} is not attached to a simulator"
+        return self.sim.now
+
+    def send(self, dst: str, message: "Message") -> None:
+        assert self.network is not None, f"{self.address} is not attached to a network"
+        self.network.send(self.address, dst, message)
+
+    def receive(self, message: "Message", src: str) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.address})"

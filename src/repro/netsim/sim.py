@@ -1,0 +1,138 @@
+"""The discrete-event simulator core.
+
+A binary heap of timestamped events drives virtual time forward.  Events
+scheduled for the same instant fire in scheduling order (a monotone
+sequence number breaks ties), which keeps runs deterministic regardless
+of hash seeds or dict ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Dict, Optional
+
+
+class Event:
+    """A scheduled callback; cancel() makes it a no-op."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, {getattr(self.fn, '__name__', self.fn)}, {state})"
+
+
+class Simulator:
+    """Virtual clock + event heap + named deterministic PRNG streams."""
+
+    def __init__(self, seed: int = 42) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._seed = seed
+        self._rngs: Dict[str, random.Random] = {}
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # time and randomness
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def rng(self, stream: str) -> random.Random:
+        """A PRNG dedicated to ``stream``.
+
+        Separate streams mean, e.g., attacker name generation cannot
+        perturb network jitter: each consumer draws from its own
+        deterministic sequence.
+        """
+        rng = self._rngs.get(stream)
+        if rng is None:
+            rng = random.Random(f"{self._seed}:{stream}")
+            self._rngs[stream] = rng
+        return rng
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn`` at the current instant, after already-queued
+        same-instant events."""
+        return self.schedule(0.0, fn, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        When stopping at ``until``, the clock is advanced to exactly
+        ``until`` so periodic samplers see a full final interval.
+        """
+        processed = 0
+        while self._heap:
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fn(*event.args)
+            processed += 1
+            self.events_processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        if until is not None and self._now < until:
+            self._now = until
+
+    def step(self) -> bool:
+        """Process a single event; returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fn(*event.args)
+            self.events_processed += 1
+            return True
+        return False
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.6f}, pending={len(self._heap)})"

@@ -1,0 +1,237 @@
+"""Token buckets and rate-limiter tables.
+
+Rate limiting (RL) is the measure that *creates* the attack surface the
+paper studies: "RL is an indispensable measure to mitigate DoS attacks in
+general, whereas it also enables an attacker to congest a rate-limited
+channel at a substantially lower cost than overloading an entire server"
+(Section 2.3).  The same primitive reappears inside DCC, where a token
+bucket controls each output channel's capacity (Section 3.2.1).
+
+Everything is driven by virtual time passed in by the caller; no wall
+clock is read.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+
+#: Slack absorbing float rounding in refill arithmetic.  Without it, a
+#: deficit of ~1e-16 tokens yields a "next available" time that rounds
+#: back to *now*, and schedulers that re-poll at that time spin forever.
+_EPSILON = 1e-9
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Buckets start full, which matches how RL implementations admit an
+    initial burst after idle periods (and is what produces the
+    fluctuation patterns the paper's measurements observe).
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp")
+
+    def __init__(self, rate: float, burst: Optional[float] = None) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else float(rate)
+        if self.burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self._tokens = self.burst
+        self._stamp = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._stamp:
+            self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+
+    def tokens(self, now: float) -> float:
+        self._refill(now)
+        return self._tokens
+
+    def available(self, now: float, amount: float = 1.0) -> bool:
+        return self.tokens(now) >= amount - _EPSILON
+
+    def try_consume(self, now: float, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if present; False (and no change) if not."""
+        self._refill(now)
+        if self._tokens >= amount - _EPSILON:
+            self._tokens = max(0.0, self._tokens - amount)
+            return True
+        return False
+
+    def next_available(self, now: float, amount: float = 1.0) -> float:
+        """Earliest virtual time at which ``amount`` tokens will exist.
+
+        MOPI-FQ uses this as the "predicted future time when the channel
+        becomes available again" for relocating congested channels in its
+        output sequence (Appendix B.1.2).  The result is guaranteed to be
+        strictly in the future whenever consumption would fail now.
+        """
+        self._refill(now)
+        if self._tokens >= amount - _EPSILON:
+            return now
+        return now + max((amount - self._tokens) / self.rate, _EPSILON)
+
+
+class RateLimitAction(enum.Enum):
+    """What a server does to over-limit traffic (Section 2.2.1 observes
+    all three in the wild)."""
+
+    DROP = "drop"  # silent drop -> client sees a timeout
+    SERVFAIL = "servfail"  # answer with RCODE=SERVFAIL
+    REFUSED = "refused"  # answer with RCODE=REFUSED
+
+
+@dataclass
+class RateLimitConfig:
+    """Configuration of one rate-limiter table."""
+
+    rate: float  # sustained queries/second per key
+    burst: Optional[float] = None  # bucket depth; defaults to one second of rate
+    action: RateLimitAction = RateLimitAction.DROP
+    #: 0 -> per-address; 24 -> per-/24-prefix keys (several measured
+    #: resolvers vary limits per prefix, Section 2.2.1).
+    prefix_bits: int = 0
+    #: drop state entries idle for this long (seconds)
+    idle_timeout: float = 60.0
+    #: "window": BIND-RRL-style fixed windows (first rate*window_size
+    #: messages per window pass, the rest drop); "bucket": token bucket.
+    mode: str = "bucket"
+    window_size: float = 1.0
+
+
+def prefix_key(address: str, prefix_bits: int) -> str:
+    """Collapse an IPv4-style dotted address to its prefix key."""
+    if prefix_bits <= 0:
+        return address
+    parts = address.split(".")
+    if len(parts) != 4:
+        return address
+    keep = max(1, min(4, prefix_bits // 8))
+    return ".".join(parts[:keep])
+
+
+class WindowedCounter:
+    """Fixed-window counting limiter (BIND response-rate-limiting style).
+
+    The first ``rate * window`` messages of each window pass; everything
+    after drops until the next window starts.  Unlike a token bucket,
+    this is insensitive to arrival burstiness *within* a window -- which
+    is exactly why bursty amplification traffic starves uniformly-paced
+    benign traffic behind the same key (the paper's Figure 4 collapse).
+    """
+
+    __slots__ = ("rate", "window", "_window_index", "_count")
+
+    def __init__(self, rate: float, window: float = 1.0) -> None:
+        if rate <= 0 or window <= 0:
+            raise ValueError("rate and window must be positive")
+        self.rate = rate
+        self.window = window
+        self._window_index = -1
+        self._count = 0.0
+
+    def _roll(self, now: float) -> None:
+        index = int(now / self.window)
+        if index != self._window_index:
+            self._window_index = index
+            self._count = 0.0
+
+    def try_consume(self, now: float, amount: float = 1.0) -> bool:
+        self._roll(now)
+        if self._count + amount <= self.rate * self.window + _EPSILON:
+            self._count += amount
+            return True
+        return False
+
+    def available(self, now: float, amount: float = 1.0) -> bool:
+        self._roll(now)
+        return self._count + amount <= self.rate * self.window + _EPSILON
+
+    def next_available(self, now: float, amount: float = 1.0) -> float:
+        if self.available(now, amount):
+            return now
+        return (self._window_index + 1) * self.window
+
+
+@dataclass
+class _Entry:
+    bucket: object  # TokenBucket or WindowedCounter
+    last_seen: float = 0.0
+    allowed: int = 0
+    limited: int = 0
+
+
+class RateLimiter:
+    """A per-key (client or prefix) token-bucket table.
+
+    This is the generic building block behind:
+
+    - authoritative ingress/response RL ("IRL" in Figure 2),
+    - resolver ingress RL on clients,
+    - resolver egress RL towards upstream servers ("ERL"),
+    - DCC pre-queue policing rate limits.
+    """
+
+    def __init__(self, config: RateLimitConfig) -> None:
+        self.config = config
+        self._entries: Dict[str, _Entry] = {}
+        self.total_allowed = 0
+        self.total_limited = 0
+
+    def _entry(self, key: str) -> _Entry:
+        entry = self._entries.get(key)
+        if entry is None:
+            if self.config.mode == "window":
+                limiter = WindowedCounter(self.config.rate, self.config.window_size)
+            else:
+                limiter = TokenBucket(self.config.rate, self.config.burst)
+            entry = _Entry(limiter)
+            self._entries[key] = entry
+        return entry
+
+    def allow(self, address: str, now: float, amount: float = 1.0) -> bool:
+        """Account one message from/to ``address``; True if under limit."""
+        key = prefix_key(address, self.config.prefix_bits)
+        entry = self._entry(key)
+        entry.last_seen = now
+        if entry.bucket.try_consume(now, amount):
+            entry.allowed += 1
+            self.total_allowed += 1
+            return True
+        entry.limited += 1
+        self.total_limited += 1
+        return False
+
+    def would_allow(self, address: str, now: float, amount: float = 1.0) -> bool:
+        """Non-consuming peek."""
+        key = prefix_key(address, self.config.prefix_bits)
+        entry = self._entries.get(key)
+        if entry is None:
+            return True
+        return entry.bucket.available(now, amount)
+
+    def purge(self, now: float) -> int:
+        """Drop entries idle longer than ``idle_timeout``; returns count."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if now - entry.last_seen > self.config.idle_timeout
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def tracked_keys(self) -> int:
+        return len(self._entries)
+
+    def stats_for(self, address: str) -> Optional[Dict[str, float]]:
+        entry = self._entries.get(prefix_key(address, self.config.prefix_bits))
+        if entry is None:
+            return None
+        return {"allowed": entry.allowed, "limited": entry.limited}

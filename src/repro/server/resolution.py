@@ -1,0 +1,521 @@
+"""The iterative resolution engine.
+
+A :class:`ResolutionTask` drives one logical lookup (qname, qtype) to
+completion against the authoritative hierarchy, using the resolver's
+cache and egress transport.  It is deliberately faithful to the resolver
+behaviours the paper's attack patterns exploit:
+
+- **CNAME chasing** restarts resolution at each alias target, one link
+  per upstream response (the "CQ" chain half);
+- **QNAME minimisation** (RFC 9156) walks the target name label by
+  label, one query per label below the deepest known zone cut (the
+  "×QMIN" half -- together with long chains this is the compositional
+  amplification of CAMP [22]);
+- **NS address fan-out**: a glue-less referral makes the resolver
+  resolve *all* of the delegation's nameserver names, each a recursive
+  subtask (the "FF" fan-out×fan-out amplification; cf. NXNSAttack [7]);
+- **retries** on timeout, then server failover, then SERVFAIL.
+
+Every query a task (or any of its subtasks) emits carries the client
+attribution of the original request, which is what DCC's fairness is
+defined over (Section 3.2.1: "fairness is defined over the number of
+queries attributed to a client, which neutralizes the amplification
+effects of malicious requests").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.dnscore.edns import ClientAttribution
+from repro.dnscore.message import Message
+from repro.dnscore.name import Name
+from repro.dnscore.rdata import CNAMEData, RCode, RRType, SOAData
+from repro.dnscore.rrset import RRSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.server.resolver import RecursiveResolver
+
+_task_ids = itertools.count(1)
+
+
+@dataclass
+class ResolutionOutcome:
+    """Terminal result of a resolution task."""
+
+    rcode: RCode
+    answers: List[RRSet] = field(default_factory=list)
+    authority: List[RRSet] = field(default_factory=list)
+    #: total upstream queries attributed to this task tree
+    queries_sent: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.rcode.is_success
+
+
+class _PendingQuery:
+    """One in-flight upstream query with its retry budget.
+
+    Holds one of the resolver's per-server outstanding-query slots from
+    first transmission until the final response/timeout (retries to the
+    same server reuse the slot, as a real resolver's fetch context does).
+    """
+
+    __slots__ = ("qname", "qtype", "server", "message_id", "retries_left", "timer", "sent_at")
+
+    def __init__(self, qname: Name, qtype: RRType, server: str, message_id: int, retries_left: int) -> None:
+        self.qname = qname
+        self.qtype = qtype
+        self.server = server
+        self.message_id = message_id
+        self.retries_left = retries_left
+        self.timer = None  # netsim Event
+        self.sent_at = 0.0
+
+
+class ResolutionTask:
+    """Resolve (qname, qtype), reporting through ``on_done(outcome)``.
+
+    Subtasks (NS-address lookups) share the root task's attribution and
+    query budget; the budget is the resolver's ``max_queries_per_request``
+    guard (BIND's max-fetches analogue), generous by default so that the
+    amplification behaviours the paper measures are reproduced.
+    """
+
+    def __init__(
+        self,
+        resolver: "RecursiveResolver",
+        qname: Name,
+        qtype: RRType,
+        attribution: ClientAttribution,
+        on_done: Callable[[ResolutionOutcome], None],
+        depth: int = 0,
+        root: Optional["ResolutionTask"] = None,
+    ) -> None:
+        self.task_id = next(_task_ids)
+        self.resolver = resolver
+        self.qname = qname
+        self.qtype = qtype
+        self.attribution = attribution
+        self.on_done = on_done
+        self.depth = depth
+        self.root = root or self
+        self.finished = False
+
+        self.current_name = qname
+        self.cname_chain: List[RRSet] = []
+        #: labels currently exposed to upstream servers (QNAME minimisation)
+        self._min_labels: Optional[int] = None
+        self._pending: Optional[_PendingQuery] = None
+        self._tried_servers: Set[str] = set()
+        self._subtasks: List["ResolutionTask"] = []
+        self._awaiting_addresses = False
+        self._fanout_rounds = 0
+        # Budget is shared through the root task.
+        if self.root is self:
+            self.queries_budget = resolver.config.max_queries_per_request
+            self.queries_sent = 0
+            #: (name, type) pairs in flight anywhere in this tree (loop guard)
+            self.in_progress: Set[Tuple[Name, RRType]] = set()
+        self.root.in_progress.add((qname, qtype))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._advance()
+
+    def _finish(self, outcome: ResolutionOutcome) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self.root.in_progress.discard((self.qname, self.qtype))
+        if self._pending is not None:
+            if self._pending.timer is not None:
+                self._pending.timer.cancel()
+            self.resolver.unregister_query(self._pending.message_id)
+            self.resolver.release_server_slot(self._pending.server)
+            self._pending = None
+        if self.root is self:
+            outcome.queries_sent = self.queries_sent
+        self.on_done(outcome)
+
+    def _fail(self, rcode: RCode = RCode.SERVFAIL) -> None:
+        self._finish(ResolutionOutcome(rcode=rcode))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Take the next resolution step for ``current_name``."""
+        if self.finished:
+            return
+        cache = self.resolver.cache
+        now = self.resolver.now
+
+        # 1. Cache fast path for the full current name.
+        entry = cache.get(self.current_name, self.qtype, now)
+        if entry is not None:
+            if entry.is_negative:
+                self._finish(ResolutionOutcome(rcode=entry.rcode, answers=list(self.cname_chain)))
+            else:
+                self._conclude_with_answer(entry.rrset)
+            return
+        cname_entry = cache.peek(self.current_name, RRType.CNAME, now)
+        if cname_entry is not None and cname_entry.rrset is not None:
+            self._follow_cname(cname_entry.rrset)
+            return
+
+        # 2. Locate the deepest known zone cut.
+        cut = cache.deepest_known_cut(self.current_name, now)
+        if cut is None:
+            # No root hints -> nothing to iterate from.
+            self._fail()
+            return
+        cut_name, ns_rrset = cut
+
+        # 3. Find an address for one of the cut's nameservers.
+        ns_names = cache.nameserver_names(ns_rrset)
+        addressed: List[str] = []
+        for ns_name in ns_names:
+            addressed.extend(cache.addresses_for(ns_name, now))
+        candidates = [
+            addr
+            for addr in addressed
+            if addr not in self._tried_servers and self.resolver.server_available(addr)
+        ]
+        if not candidates and addressed:
+            # Every known server for this cut has been tried and failed:
+            # give up rather than hammering dead servers forever.
+            self._fail()
+            return
+        if not candidates:
+            self._fetch_ns_addresses(ns_names)
+            return
+
+        server = self.resolver.pick_server(candidates)
+
+        # 4. Decide the query name (QNAME minimisation) and send.
+        qname, qtype = self._next_query(cut_name)
+        self._send_query(qname, qtype, server)
+
+    def _next_query(self, cut_name: Name) -> Tuple[Name, RRType]:
+        """Choose the (name, type) to expose to the upstream server."""
+        if not self.resolver.config.qname_minimization:
+            return self.current_name, self.qtype
+        total = len(self.current_name)
+        cut_depth = len(cut_name)
+        if self._min_labels is None or self._min_labels <= cut_depth:
+            self._min_labels = cut_depth + 1
+        exposed = min(self._min_labels, total)
+        if exposed >= total:
+            return self.current_name, self.qtype
+        minimized = Name(self.current_name.labels[total - exposed :])
+        return minimized, self.resolver.config.qmin_probe_type
+
+    # ------------------------------------------------------------------
+    # upstream I/O
+    # ------------------------------------------------------------------
+    def _send_query(self, qname: Name, qtype: RRType, server: str, via_tcp: bool = False) -> None:
+        if self.root.queries_sent >= self.root.queries_budget:
+            self._fail()
+            return
+        if not self.resolver.acquire_server_slot(server):
+            # Fetch quota exhausted: fail over like a SERVFAIL (BIND
+            # answers SERVFAIL when the per-server quota spills).
+            self._tried_servers.add(server)
+            if len(self._tried_servers) >= self.resolver.config.max_servers_per_step:
+                self._fail()
+            else:
+                self._advance()
+            return
+        self.root.queries_sent += 1
+        query = Message.query(qname, qtype, recursion_desired=False)
+        query.via_tcp = via_tcp
+        query.edns_options.append(self.attribution.encode())
+        pending = _PendingQuery(
+            qname,
+            qtype,
+            server,
+            query.id,
+            retries_left=self.resolver.config.max_retries,
+        )
+        pending.timer = self.resolver.sim.schedule(
+            self.resolver.config.query_timeout, self._on_timeout, pending
+        )
+        pending.sent_at = self.resolver.now
+        self._pending = pending
+        self.resolver.register_query(query.id, self)
+        self.resolver.transmit_query(query, server)
+
+    def _on_timeout(self, pending: _PendingQuery) -> None:
+        if self.finished or self._pending is not pending:
+            return
+        self.resolver.unregister_query(pending.message_id)
+        self.resolver.stats.query_timeouts += 1
+        if pending.retries_left > 0 and self.root.queries_sent < self.root.queries_budget:
+            # Retry against the same server with a fresh message ID.
+            self.root.queries_sent += 1
+            self.resolver.stats.query_retries += 1
+            query = Message.query(pending.qname, pending.qtype, recursion_desired=False)
+            query.edns_options.append(self.attribution.encode())
+            pending.retries_left -= 1
+            pending.message_id = query.id
+            pending.timer = self.resolver.sim.schedule(
+                self.resolver.config.query_timeout, self._on_timeout, pending
+            )
+            self.resolver.register_query(query.id, self)
+            self.resolver.transmit_query(query, pending.server)
+            return
+        # Exhausted retries: mark this server bad for the step and try
+        # another; _advance() fails the task if nothing is left.
+        self.resolver.release_server_slot(pending.server)
+        self.resolver.note_server_timeout(pending.server)
+        self._tried_servers.add(pending.server)
+        self._pending = None
+        if len(self._tried_servers) >= self.resolver.config.max_servers_per_step:
+            self._fail()
+            return
+        self._advance()
+
+    def handle_response(self, response: Message, src: str) -> None:
+        """Called by the resolver when an upstream response matches our
+        pending query."""
+        if self.finished:
+            return
+        pending = self._pending
+        if (
+            pending is None
+            or pending.message_id != response.id
+            or pending.server != src
+            or response.question.name != pending.qname
+        ):
+            self.resolver.stats.mismatched_responses += 1
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self._pending = None
+        self.resolver.unregister_query(response.id)
+        self.resolver.release_server_slot(pending.server)
+        self.resolver.note_server_rtt(pending.server, self.resolver.now - pending.sent_at)
+        self._process_response(response, pending)
+
+    # ------------------------------------------------------------------
+    # response processing
+    # ------------------------------------------------------------------
+    def _process_response(self, response: Message, pending: _PendingQuery) -> None:
+        cache = self.resolver.cache
+        now = self.resolver.now
+
+        if response.is_truncated and not response.via_tcp:
+            # TC bit: the datagram answer did not fit; retry over a
+            # reliable stream (RFC 7766 TCP fallback).
+            self.resolver.stats.tcp_fallbacks += 1
+            self._send_query(pending.qname, pending.qtype, pending.server, via_tcp=True)
+            return
+
+        if response.rcode in (RCode.SERVFAIL, RCode.REFUSED, RCode.NOTIMP, RCode.FORMERR):
+            self.resolver.stats.upstream_errors += 1
+            self._tried_servers.add(pending.server)
+            if len(self._tried_servers) >= self.resolver.config.max_servers_per_step:
+                self._fail()
+            else:
+                self._advance()
+            return
+
+        was_minimized = pending.qname != self.current_name
+
+        if response.rcode == RCode.NXDOMAIN:
+            ttl = _negative_ttl(response)
+            cache.put_negative(pending.qname, pending.qtype, RCode.NXDOMAIN, ttl, now)
+            if self.resolver.config.aggressive_nsec:
+                self._ingest_denial_ranges(response, ttl, now)
+            # With QNAME minimisation, NXDOMAIN on an ancestor label
+            # terminates the whole lookup (RFC 8020: nothing exists
+            # below a non-existent name).
+            self._finish(
+                ResolutionOutcome(
+                    rcode=RCode.NXDOMAIN,
+                    answers=list(self.cname_chain),
+                    authority=list(response.authority),
+                )
+            )
+            return
+
+        if response.answers:
+            for rrset in response.answers:
+                cache.put_rrset(rrset, now)
+            direct = _find_rrset(response.answers, pending.qname, pending.qtype)
+            cname = _find_rrset(response.answers, pending.qname, RRType.CNAME)
+            if was_minimized:
+                # An answer for a minimised probe name just proves the
+                # label exists; keep walking down.
+                self._min_labels = (self._min_labels or 0) + 1
+                self._advance()
+                return
+            if direct is not None:
+                self._conclude_with_answer(direct)
+                return
+            if cname is not None and self.qtype != RRType.CNAME:
+                self._follow_cname(cname)
+                return
+            # Answer section without our name/type: treat as NODATA.
+            cache.put_negative(pending.qname, pending.qtype, RCode.NOERROR, _negative_ttl(response), now)
+            self._finish(ResolutionOutcome(rcode=RCode.NOERROR, answers=list(self.cname_chain)))
+            return
+
+        if response.is_referral:
+            self._ingest_referral(response)
+            self._advance()
+            return
+
+        # NODATA.
+        cache.put_negative(pending.qname, pending.qtype, RCode.NOERROR, _negative_ttl(response), now)
+        if was_minimized:
+            # The minimised name exists but has no records of the probe
+            # type -- normal for empty non-terminals; expose one more
+            # label and continue.
+            self._min_labels = (self._min_labels or 0) + 1
+            self._advance()
+            return
+        self._finish(
+            ResolutionOutcome(
+                rcode=RCode.NOERROR,
+                answers=list(self.cname_chain),
+                authority=list(response.authority),
+            )
+        )
+
+    def _ingest_denial_ranges(self, response: Message, ttl: float, now: float) -> None:
+        """Cache NSEC ranges from a signed zone's NXDOMAIN (RFC 8198)."""
+        from repro.dnscore.rdata import NSECData
+
+        for rrset in response.authority:
+            if rrset.rrtype != RRType.NSEC:
+                continue
+            for record in rrset:
+                assert isinstance(record.rdata, NSECData)
+                self.resolver.cache.put_denial_range(
+                    record.name, record.rdata.next_name, min(ttl, record.ttl), now
+                )
+
+    def _ingest_referral(self, response: Message) -> None:
+        cache = self.resolver.cache
+        now = self.resolver.now
+        for rrset in response.authority:
+            if rrset.rrtype == RRType.NS:
+                cache.put_rrset(rrset, now)
+        for rrset in response.additional:
+            if rrset.rrtype in (RRType.A, RRType.AAAA):
+                cache.put_rrset(rrset, now)
+        # New cut: previously tried servers belong to the parent zone.
+        self._tried_servers.clear()
+
+    def _follow_cname(self, cname_rrset: RRSet) -> None:
+        self.cname_chain.append(cname_rrset)
+        if len(self.cname_chain) > self.resolver.config.max_cname_chain:
+            self.resolver.stats.cname_chain_overflows += 1
+            self._fail()
+            return
+        target = cname_rrset.records[0].rdata
+        assert isinstance(target, CNAMEData)
+        self.current_name = target.target
+        self._min_labels = None
+        self._tried_servers.clear()
+        self._advance()
+
+    def _conclude_with_answer(self, rrset: RRSet) -> None:
+        answers = list(self.cname_chain)
+        answers.append(rrset)
+        self._finish(ResolutionOutcome(rcode=RCode.NOERROR, answers=answers))
+
+    # ------------------------------------------------------------------
+    # NS address fan-out (the FF amplification point)
+    # ------------------------------------------------------------------
+    def _fetch_ns_addresses(self, ns_names: List[Name]) -> None:
+        """Resolve addresses for a glue-less delegation.
+
+        A real resolver (and BIND in the paper's testbed, MAF ~= 50)
+        launches address lookups for *all* nameserver names of the
+        delegation; we proceed as soon as the first one succeeds but the
+        rest keep running -- their queries still load the upstream
+        channels, which is exactly the amplification an FF attacker
+        banks on.
+        """
+        if self._awaiting_addresses:
+            # A previous fan-out for this step is still running and
+            # nothing came of it: give up rather than loop.
+            self._fail()
+            return
+        if self._fanout_rounds >= self.resolver.config.max_fanout_rounds:
+            # Re-fanning out after the fetched glue expired would let an
+            # attacker multiply amplification unboundedly; real resolvers
+            # bound fetches per delegation (BIND max-fetches).
+            self._fail()
+            return
+        if self.depth >= self.resolver.config.max_fanout_depth:
+            self._fail()
+            return
+        self._fanout_rounds += 1
+
+        targets = [
+            name
+            for name in ns_names[: self.resolver.config.max_ns_address_fetches]
+            if (name, RRType.A) not in self.root.in_progress
+        ]
+        if not targets:
+            self._fail()
+            return
+        self._awaiting_addresses = True
+        self._address_arrived = False
+        self._fanout_remaining = len(targets)
+        for ns_name in targets:
+            subtask = ResolutionTask(
+                self.resolver,
+                ns_name,
+                RRType.A,
+                self.attribution,
+                on_done=self._on_ns_address,
+                depth=self.depth + 1,
+                root=self.root,
+            )
+            self._subtasks.append(subtask)
+            self.resolver.stats.ns_fanout_subtasks += 1
+            subtask.start()
+
+    def _on_ns_address(self, outcome: ResolutionOutcome) -> None:
+        if self.finished:
+            return
+        self._fanout_remaining -= 1
+        got_address = outcome.rcode == RCode.NOERROR and any(
+            rrset.rrtype in (RRType.A, RRType.AAAA) for rrset in outcome.answers
+        )
+        if got_address and not self._address_arrived:
+            # First usable address: resume the main descent. Remaining
+            # subtasks continue in the background.
+            self._address_arrived = True
+            self._awaiting_addresses = False
+            self._advance()
+            return
+        if self._fanout_remaining == 0 and not self._address_arrived:
+            self._awaiting_addresses = False
+            self._fail()
+
+
+def _find_rrset(rrsets: List[RRSet], name: Name, rrtype: RRType) -> Optional[RRSet]:
+    for rrset in rrsets:
+        if rrset.name == name and rrset.rrtype == rrtype:
+            return rrset
+    return None
+
+
+def _negative_ttl(response: Message) -> float:
+    """Negative TTL from the SOA minimum (RFC 2308); short default."""
+    for rrset in response.authority:
+        for record in rrset:
+            if isinstance(record.rdata, SOAData):
+                return float(min(record.ttl, record.rdata.minimum))
+    return 5.0

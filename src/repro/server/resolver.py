@@ -1,0 +1,417 @@
+"""The recursive resolver node.
+
+Wraps the iterative :mod:`repro.server.resolution` engine with the
+client-facing machinery of a production resolver: ingress rate limiting,
+a cache fast path, a pending-request table, egress rate limiting, and
+statistics.  Three interception hooks expose exactly the I/O surface the
+paper's non-invasive DCC middlebox taps (Figure 5):
+
+- ``egress_query_hook`` sees every outgoing query (DCC's pre-queue
+  policing + MOPI-FQ scheduling sit here);
+- ``ingress_answer_hook`` sees every incoming answer (anomaly monitoring
+  and signal extraction);
+- ``egress_response_hook`` sees every response to a client (signal
+  attachment).
+
+When no hooks are installed the resolver behaves exactly like the
+"vanilla BIND" baseline in the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dnscore.edns import ClientAttribution, OptionCode
+from repro.dnscore.message import Message
+from repro.dnscore.name import ROOT, Name
+from repro.dnscore.rdata import NSData, RCode, RRType
+from repro.dnscore.rrset import ResourceRecord, RRSet
+from repro.dnscore.rdata import AData
+from repro.netsim.node import Node
+from repro.server.cache import ResolverCache
+from repro.server.ratelimit import RateLimitAction, RateLimitConfig, RateLimiter
+from repro.server.resolution import ResolutionOutcome, ResolutionTask
+
+
+@dataclass
+class ResolverConfig:
+    """Tunable behaviour of the recursive resolver."""
+
+    #: follow RFC 9156 and expose one label at a time
+    qname_minimization: bool = False
+    #: record type used for minimised probes (RFC 9156 allows NS or A)
+    qmin_probe_type: RRType = RRType.A
+    query_timeout: float = 0.8
+    max_retries: int = 1
+    max_servers_per_step: int = 3
+    max_cname_chain: int = 17
+    #: address lookups launched per glue-less delegation (all of them,
+    #: like the BIND version the paper measures at MAF ~50)
+    max_ns_address_fetches: int = 20
+    max_fanout_depth: int = 6
+    #: glue-less NS address fan-outs allowed per resolution step (BIND's
+    #: max-fetches analogue; >1 lets re-expired glue multiply the work)
+    max_fanout_rounds: int = 1
+    #: hard per-request query budget (BIND max-fetches analogue)
+    max_queries_per_request: int = 400
+    #: outstanding (unanswered) queries allowed per upstream server, the
+    #: BIND fetches-per-server analogue.  Under adversarial congestion,
+    #: dropped queries hold their slots until timeout, exhausting the
+    #: quota and failing *everyone's* queries to that server -- a key
+    #: ingredient of the paper's vanilla-resolver collapse (Figure 8).
+    max_outstanding_per_server: int = 200
+    cache_size: int = 200_000
+    #: RFC 8767 serve-stale: when fresh resolution fails, answer from an
+    #: expired cache entry retained up to this many seconds (0 = off).
+    #: Softens adversarial congestion for popular names; the evaluation
+    #: baselines keep it off, matching the paper's BIND configuration.
+    serve_stale_window: float = 0.0
+    #: RFC 8198 aggressive use of DNSSEC-validated denial: cache NSEC
+    #: ranges from signed zones and synthesise NXDOMAIN locally for
+    #: covered names.  Suppresses pseudo-random-subdomain floods against
+    #: signed zones (Section 2.3) -- but adoption is low (<5% of .com),
+    #: so the evaluation baselines keep it off.
+    aggressive_nsec: bool = False
+    ingress_limit: Optional[RateLimitConfig] = None
+    egress_limit: Optional[RateLimitConfig] = None
+    #: upstream server selection: "srtt" prefers the historically
+    #: fastest server with occasional exploration (BIND behaviour --
+    #: concentrates load on one server of a redundant set, which is why
+    #: redundancy does not dilute adversarial congestion, Figure 4a/b);
+    #: "random" spreads queries uniformly.
+    server_selection: str = "srtt"
+    #: exploration probability for srtt selection
+    srtt_explore: float = 0.05
+    #: consecutive timeouts after which a server enters hold-down (the
+    #: BIND lame/bad-server cache analogue); 0 disables
+    server_backoff_threshold: int = 5
+    #: how long a held-down server is skipped entirely (seconds).
+    #: While *every* server of a zone is held down, lookups fail
+    #: immediately -- the mechanism that collapses benign service once
+    #: adversarial congestion keeps the inter-server channel saturated.
+    server_backoff_duration: float = 2.0
+    #: local compute cost charged per cache-miss request (seconds)
+    processing_delay: float = 0.0
+    #: period of the state-purge sweep (0 disables)
+    purge_interval: float = 10.0
+
+
+@dataclass
+class ResolverStats:
+    requests_received: int = 0
+    responses_sent: int = 0
+    cache_hit_responses: int = 0
+    ingress_limited: int = 0
+    egress_limited: int = 0
+    queries_sent: int = 0
+    query_timeouts: int = 0
+    query_retries: int = 0
+    upstream_errors: int = 0
+    quota_rejections: int = 0
+    server_backoffs: int = 0
+    mismatched_responses: int = 0
+    cname_chain_overflows: int = 0
+    ns_fanout_subtasks: int = 0
+    servfail_responses: int = 0
+    stale_responses: int = 0
+    aggressive_nsec_responses: int = 0
+    tcp_fallbacks: int = 0
+    queries_per_server: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class _PendingRequest:
+    client: str
+    request: Message
+    arrived_at: float
+    task: Optional[ResolutionTask] = None
+
+
+class RecursiveResolver(Node):
+    """An iterative-resolution recursive resolver."""
+
+    def __init__(self, address: str, config: Optional[ResolverConfig] = None) -> None:
+        super().__init__(address)
+        self.config = config or ResolverConfig()
+        self.cache = ResolverCache(
+            max_entries=self.config.cache_size,
+            stale_window=self.config.serve_stale_window,
+        )
+        self.stats = ResolverStats()
+        self.ingress_rl = (
+            RateLimiter(self.config.ingress_limit) if self.config.ingress_limit else None
+        )
+        self.egress_rl = (
+            RateLimiter(self.config.egress_limit) if self.config.egress_limit else None
+        )
+        #: outgoing message id -> owning resolution task
+        self._query_registry: Dict[int, ResolutionTask] = {}
+        #: per-server outstanding query counts (fetch quota)
+        self._outstanding: Dict[str, int] = {}
+        #: smoothed per-server RTT estimates (seconds)
+        self._srtt: Dict[str, float] = {}
+        #: per-server consecutive-timeout counts and hold-down deadlines
+        self._timeout_streak: Dict[str, int] = {}
+        self._backoff_until: Dict[str, float] = {}
+        #: (client, request id, qname) -> pending client request
+        self._pending_requests: Dict[Tuple[str, int, Name], _PendingRequest] = {}
+
+        # DCC interception surface (None = vanilla behaviour).
+        self.egress_query_hook: Optional[Callable[[Message, str], bool]] = None
+        self.ingress_answer_hook: Optional[Callable[[Message, str], Optional[Message]]] = None
+        self.egress_response_hook: Optional[Callable[[Message, str], Message]] = None
+        #: observation-only tap on queries actually leaving the host
+        #: (fires post-scheduling, pre-attribution-strip); used by the
+        #: experiment harnesses for per-client wire accounting
+        self.egress_tap: Optional[Callable[[Message, str], None]] = None
+
+        self._purge_scheduled = False
+
+    # ------------------------------------------------------------------
+    # priming
+    # ------------------------------------------------------------------
+    def add_root_hint(self, server_name: str, server_address: str, ttl: int = 10**9) -> None:
+        """Install a root NS + glue pair with an effectively infinite TTL."""
+        ns_name = Name.from_text(server_name)
+        ns_rrset = RRSet.of(ResourceRecord(ROOT, ttl, NSData(ns_name)))
+        existing = self.cache.peek(ROOT, RRType.NS, 0.0)
+        if existing is not None and existing.rrset is not None:
+            for record in existing.rrset:
+                ns_rrset.add(record)
+        self.cache.put_rrset(ns_rrset, 0.0)
+        glue = RRSet.of(ResourceRecord(ns_name, ttl, AData(server_address)))
+        self.cache.put_rrset(glue, 0.0)
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+    def receive(self, message: Message, src: str) -> None:
+        self._ensure_purge_loop()
+        if message.is_response:
+            self._receive_answer(message, src)
+        else:
+            self._receive_request(message, src)
+
+    def _ensure_purge_loop(self) -> None:
+        if self._purge_scheduled or self.config.purge_interval <= 0 or self.sim is None:
+            return
+        self._purge_scheduled = True
+        self.sim.schedule(self.config.purge_interval, self._purge_tick)
+
+    def _purge_tick(self) -> None:
+        if self.ingress_rl is not None:
+            self.ingress_rl.purge(self.now)
+        if self.egress_rl is not None:
+            self.egress_rl.purge(self.now)
+        self.sim.schedule(self.config.purge_interval, self._purge_tick)
+
+    # ------------------------------------------------------------------
+    # client-facing side
+    # ------------------------------------------------------------------
+    def _receive_request(self, request: Message, client: str) -> None:
+        self.stats.requests_received += 1
+
+        if self.ingress_rl is not None and not self.ingress_rl.allow(client, self.now):
+            self.stats.ingress_limited += 1
+            action = self.ingress_rl.config.action
+            if action == RateLimitAction.DROP:
+                return
+            rcode = RCode.SERVFAIL if action == RateLimitAction.SERVFAIL else RCode.REFUSED
+            self._respond(client, request.make_response(rcode))
+            return
+
+        qname = request.question.name
+        qtype = request.question.rrtype
+
+        # Aggressive denial (RFC 8198): a cached NSEC range proves the
+        # name does not exist; answer locally, starving NX floods.
+        if self.config.aggressive_nsec and self.cache.covered_by_denial(qname, self.now):
+            self.stats.aggressive_nsec_responses += 1
+            self._respond(client, request.make_response(RCode.NXDOMAIN))
+            return
+
+        # Fast path: cache hit bypasses everything, including DCC.
+        entry = self.cache.get(qname, qtype, self.now)
+        if entry is not None:
+            response = request.make_response(entry.rcode)
+            if entry.rrset is not None:
+                response.answers.append(entry.rrset)
+            self.stats.cache_hit_responses += 1
+            self._respond(client, response)
+            return
+        # (A cached CNAME still requires chasing the target -> full path.)
+        key = (client, request.id, qname)
+        if key in self._pending_requests:
+            return  # duplicate in-flight request from the same client
+        pending = _PendingRequest(client=client, request=request, arrived_at=self.now)
+        self._pending_requests[key] = pending
+
+        attribution = ClientAttribution(client=client, port=0, request_id=request.id)
+        task = ResolutionTask(
+            self,
+            qname,
+            qtype,
+            attribution,
+            on_done=lambda outcome: self._complete_request(key, outcome),
+        )
+        pending.task = task
+        if self.config.processing_delay > 0:
+            self.sim.schedule(self.config.processing_delay, task.start)
+        else:
+            task.start()
+
+    def _complete_request(self, key: Tuple[str, int, Name], outcome: ResolutionOutcome) -> None:
+        pending = self._pending_requests.pop(key, None)
+        if pending is None:
+            return
+        if outcome.rcode == RCode.SERVFAIL and self.config.serve_stale_window > 0:
+            stale = self.cache.get_stale(
+                pending.request.question.name, pending.request.question.rrtype, self.now
+            )
+            if stale is not None and stale.rrset is not None:
+                response = pending.request.make_response(RCode.NOERROR)
+                response.answers.append(stale.rrset)
+                self.stats.stale_responses += 1
+                self._respond(pending.client, response)
+                return
+        response = pending.request.make_response(outcome.rcode)
+        response.answers.extend(outcome.answers)
+        response.authority.extend(outcome.authority)
+        if outcome.rcode == RCode.SERVFAIL:
+            self.stats.servfail_responses += 1
+        self._respond(pending.client, response)
+
+    def _respond(self, client: str, response: Message) -> None:
+        if self.egress_response_hook is not None:
+            response = self.egress_response_hook(response, client)
+        self.stats.responses_sent += 1
+        self.send(client, response)
+
+    def pending_request_count(self) -> int:
+        return len(self._pending_requests)
+
+    # ------------------------------------------------------------------
+    # server-facing side
+    # ------------------------------------------------------------------
+    def register_query(self, message_id: int, task: ResolutionTask) -> None:
+        self._query_registry[message_id] = task
+
+    def unregister_query(self, message_id: int) -> None:
+        self._query_registry.pop(message_id, None)
+
+    def acquire_server_slot(self, server: str) -> bool:
+        """Claim an outstanding-query slot towards ``server``.
+
+        Returns False when the fetch quota is exhausted; the caller must
+        then fail over or give up (BIND answers SERVFAIL in this case).
+        """
+        count = self._outstanding.get(server, 0)
+        if count >= self.config.max_outstanding_per_server:
+            self.stats.quota_rejections += 1
+            return False
+        self._outstanding[server] = count + 1
+        return True
+
+    def release_server_slot(self, server: str) -> None:
+        count = self._outstanding.get(server, 0)
+        if count <= 1:
+            self._outstanding.pop(server, None)
+        else:
+            self._outstanding[server] = count - 1
+
+    def outstanding_to(self, server: str) -> int:
+        return self._outstanding.get(server, 0)
+
+    def pick_server(self, candidates: List[str]) -> str:
+        """Server selection among a delegation's addressed NS set."""
+        if len(candidates) == 1:
+            return candidates[0]
+        rng = self.sim.rng(f"resolver.{self.address}.srtt")
+        if self.config.server_selection != "srtt" or rng.random() < self.config.srtt_explore:
+            return rng.choice(candidates)
+        # Prefer the lowest smoothed RTT; unknown servers look fast so
+        # they get probed early on.
+        return min(candidates, key=lambda addr: self._srtt.get(addr, 0.0))
+
+    def note_server_rtt(self, server: str, rtt: float) -> None:
+        """EWMA update on a successful exchange."""
+        previous = self._srtt.get(server, rtt)
+        self._srtt[server] = 0.7 * previous + 0.3 * rtt
+        self._timeout_streak.pop(server, None)
+
+    def note_server_timeout(self, server: str) -> None:
+        """Penalise a server that timed out (BIND multiplies the SRTT)
+        and engage hold-down after a streak of failures."""
+        previous = self._srtt.get(server, self.config.query_timeout)
+        self._srtt[server] = min(previous * 2 + 0.01, 60.0)
+        threshold = self.config.server_backoff_threshold
+        if threshold <= 0:
+            return
+        streak = self._timeout_streak.get(server, 0) + 1
+        self._timeout_streak[server] = streak
+        if streak >= threshold:
+            self._backoff_until[server] = self.now + self.config.server_backoff_duration
+            self._timeout_streak[server] = 0
+            self.stats.server_backoffs += 1
+
+    def server_available(self, server: str) -> bool:
+        """False while the server is in hold-down."""
+        until = self._backoff_until.get(server)
+        if until is None:
+            return True
+        if self.now >= until:
+            del self._backoff_until[server]
+            return True
+        return False
+
+    def transmit_query(self, query: Message, server: str) -> None:
+        """Egress point for every resolver-generated query.
+
+        The DCC shim intercepts here; without it the query goes straight
+        out, subject only to the resolver's own egress RL.
+        """
+        self.stats.queries_sent += 1
+        self.stats.queries_per_server[server] = self.stats.queries_per_server.get(server, 0) + 1
+        if self.egress_query_hook is not None and self.egress_query_hook(query, server):
+            return
+        if self.egress_rl is not None and not self.egress_rl.allow(server, self.now):
+            self.stats.egress_limited += 1
+            return  # dropped on the floor; the task's timer will fire
+        self.raw_send_query(query, server)
+
+    def raw_send_query(self, query: Message, server: str) -> None:
+        """Actually put a query on the wire (used by DCC after dequeue).
+
+        Attribution options are internal plumbing between the resolver
+        and its shim; strip them before the message leaves the host, as
+        the paper's prototype does.
+        """
+        from repro.dnscore.edns import remove_options
+
+        if self.egress_tap is not None:
+            self.egress_tap(query, server)
+        query.edns_options = remove_options(query.edns_options, OptionCode.CLIENT_ATTRIBUTION)
+        self.send(server, query)
+
+    def _receive_answer(self, answer: Message, src: str) -> None:
+        if self.ingress_answer_hook is not None:
+            hooked = self.ingress_answer_hook(answer, src)
+            if hooked is None:
+                return
+            answer = hooked
+        self.deliver_answer(answer, src)
+
+    def deliver_answer(self, answer: Message, src: str) -> None:
+        """Hand an upstream answer to its owning resolution task.
+
+        Public so the DCC shim can inject synthesised SERVFAILs for
+        queries it refuses to enqueue (Section 3.2.1: "instead of
+        discarding the query silently, DCC immediately returns a
+        synthesized SERVFAIL answer").
+        """
+        task = self._query_registry.get(answer.id)
+        if task is None:
+            self.stats.mismatched_responses += 1
+            return
+        task.handle_response(answer, src)

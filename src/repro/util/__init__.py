@@ -1,0 +1,26 @@
+"""Generic data structures shared across the repro library.
+
+This package holds the small, self-contained containers that the DCC
+scheduler and the simulation substrate are built on:
+
+- :class:`repro.util.ordmap.OrderedMap` -- a treap-backed ordered map with
+  O(log n) insert/remove/min, used for MOPI-FQ's output sequence
+  (``out_seq`` in the paper's Appendix B pseudocode).
+- :class:`repro.util.ringbuf.RingBuffer` -- a fixed-size ring buffer, used
+  for MOPI-FQ's per-queue scheduling-round tail pointers
+  (``round_tails``).
+- :class:`repro.util.sliding.SlidingWindowCounter` and
+  :class:`repro.util.sliding.SlidingWindowRatio` -- windowed counters used
+  by DCC's anomaly monitoring.
+"""
+
+from repro.util.ordmap import OrderedMap
+from repro.util.ringbuf import RingBuffer
+from repro.util.sliding import SlidingWindowCounter, SlidingWindowRatio
+
+__all__ = [
+    "OrderedMap",
+    "RingBuffer",
+    "SlidingWindowCounter",
+    "SlidingWindowRatio",
+]

@@ -1,0 +1,239 @@
+"""A treap-backed ordered map.
+
+MOPI-FQ (paper Appendix B) needs an ``ordered_map<time, addr>`` for its
+output sequence ``out_seq``: output channels are kept sorted by the
+arrival time of the message at the front of their queue (or, when a
+channel is congested, by the predicted time at which it becomes available
+again).  Every scheduling decision reads the minimum element, and elements
+are relocated whenever a queue's head changes -- both must cost
+``O(log m)`` for ``m`` active channels, which is exactly where MOPI-FQ's
+logarithmic complexity comes from.
+
+The standard library has no ordered map, so this module provides one as a
+`treap <https://en.wikipedia.org/wiki/Treap>`_: a binary search tree whose
+heap priorities are drawn from a deterministic per-instance PRNG, giving
+expected O(log n) insert / remove / min / successor without rebalancing
+bookkeeping.
+
+Keys must be mutually comparable.  Duplicate keys are rejected --
+callers that need duplicates (MOPI-FQ does: two queue heads can share an
+arrival timestamp) should key on a ``(time, tiebreak)`` tuple.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("key", "value", "prio", "left", "right", "size")
+
+    def __init__(self, key: Any, value: Any, prio: float) -> None:
+        self.key = key
+        self.value = value
+        self.prio = prio
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.size = 1
+
+
+def _size(node: Optional[_Node]) -> int:
+    return node.size if node is not None else 0
+
+
+def _pull(node: _Node) -> None:
+    node.size = 1 + _size(node.left) + _size(node.right)
+
+
+def _merge(a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+    """Merge two treaps where every key in ``a`` < every key in ``b``."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.prio < b.prio:
+        a.right = _merge(a.right, b)
+        _pull(a)
+        return a
+    b.left = _merge(a, b.left)
+    _pull(b)
+    return b
+
+
+def _split(node: Optional[_Node], key: Any) -> Tuple[Optional[_Node], Optional[_Node]]:
+    """Split into (keys < key, keys >= key)."""
+    if node is None:
+        return None, None
+    if node.key < key:
+        left, right = _split(node.right, key)
+        node.right = left
+        _pull(node)
+        return node, right
+    left, right = _split(node.left, key)
+    node.left = right
+    _pull(node)
+    return left, node
+
+
+class OrderedMap:
+    """Ordered key -> value map with O(log n) operations.
+
+    >>> om = OrderedMap()
+    >>> om[3] = "c"; om[1] = "a"; om[2] = "b"
+    >>> om.min_item()
+    (1, 'a')
+    >>> del om[1]
+    >>> list(om)
+    [2, 3]
+    """
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._root: Optional[_Node] = None
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(key) is not None
+
+    def __getitem__(self, key: Any) -> Any:
+        node = self._find(key)
+        if node is None:
+            raise KeyError(key)
+        return node.value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._find(key)
+        return node.value if node is not None else default
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        """Insert ``key``; if it already exists, replace its value."""
+        node = self._find(key)
+        if node is not None:
+            node.value = value
+            return
+        left, right = _split(self._root, key)
+        fresh = _Node(key, value, self._rng.random())
+        self._root = _merge(_merge(left, fresh), right)
+
+    def __delitem__(self, key: Any) -> None:
+        self._root, removed = self._remove(self._root, key)
+        if not removed:
+            raise KeyError(key)
+
+    def pop(self, key: Any, *default: Any) -> Any:
+        node = self._find(key)
+        if node is None:
+            if default:
+                return default[0]
+            raise KeyError(key)
+        value = node.value
+        del self[key]
+        return value
+
+    def clear(self) -> None:
+        self._root = None
+
+    # ------------------------------------------------------------------
+    # ordered queries
+    # ------------------------------------------------------------------
+    def min_item(self) -> Tuple[Any, Any]:
+        """Return ``(key, value)`` with the smallest key."""
+        node = self._root
+        if node is None:
+            raise KeyError("min_item() on empty OrderedMap")
+        while node.left is not None:
+            node = node.left
+        return node.key, node.value
+
+    def max_item(self) -> Tuple[Any, Any]:
+        """Return ``(key, value)`` with the largest key."""
+        node = self._root
+        if node is None:
+            raise KeyError("max_item() on empty OrderedMap")
+        while node.right is not None:
+            node = node.right
+        return node.key, node.value
+
+    def pop_min(self) -> Tuple[Any, Any]:
+        """Remove and return the smallest ``(key, value)``."""
+        key, value = self.min_item()
+        del self[key]
+        return key, value
+
+    def succ(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Smallest item with key strictly greater than ``key``."""
+        node, best = self._root, None
+        while node is not None:
+            if key < node.key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        return (best.key, best.value) if best is not None else None
+
+    def __iter__(self) -> Iterator[Any]:
+        yield from (k for k, _ in self.items())
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate ``(key, value)`` pairs in ascending key order.
+
+        Iterative traversal: treaps built from adversarially ordered keys
+        stay shallow in expectation, but an explicit stack avoids any
+        recursion-depth concern on large maps.
+        """
+        stack = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self)
+
+    def values(self) -> Iterator[Any]:
+        yield from (v for _, v in self.items())
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _find(self, key: Any) -> Optional[_Node]:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node
+        return None
+
+    def _remove(self, node: Optional[_Node], key: Any) -> Tuple[Optional[_Node], bool]:
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = self._remove(node.left, key)
+        elif node.key < key:
+            node.right, removed = self._remove(node.right, key)
+        else:
+            return _merge(node.left, node.right), True
+        if removed:
+            _pull(node)
+        return node, removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(f"{k!r}: {v!r}" for k, v in list(self.items())[:8])
+        suffix = ", ..." if len(self) > 8 else ""
+        return f"OrderedMap({{{preview}{suffix}}})"

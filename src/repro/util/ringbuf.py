@@ -1,0 +1,62 @@
+"""Fixed-size ring buffer indexed by absolute position.
+
+MOPI-FQ logically divides each per-output queue into *scheduling rounds*
+(paper Figure 7c).  The queue only ever holds rounds
+``current_round .. current_round + MAX_ROUND - 1``, so the per-round tail
+pointers are kept in a ring buffer of size ``MAX_ROUND``
+(``round_tails`` in Appendix B's pseudocode): slot ``r % capacity``
+belongs to round ``r``.
+
+The buffer here is deliberately dumb -- it does not track which rounds
+are valid; the scheduler owns that via ``current_round`` /
+``latest_round``.  It simply maps an absolute round number onto a slot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+
+class RingBuffer:
+    """A fixed-capacity buffer addressed by absolute (monotone) indices.
+
+    >>> rb = RingBuffer(4)
+    >>> rb.set(10, "a")
+    >>> rb.get(10)
+    'a'
+    >>> rb.get(11) is None
+    True
+    """
+
+    __slots__ = ("_slots", "_capacity")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._slots: List[Optional[Any]] = [None] * capacity
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def get(self, index: int) -> Optional[Any]:
+        """Value stored for absolute index ``index`` (``None`` if empty)."""
+        return self._slots[index % self._capacity]
+
+    def set(self, index: int, value: Any) -> None:
+        self._slots[index % self._capacity] = value
+
+    def clear_at(self, index: int) -> None:
+        self._slots[index % self._capacity] = None
+
+    def clear(self) -> None:
+        for i in range(self._capacity):
+            self._slots[i] = None
+
+    def occupied(self) -> int:
+        """Number of non-empty slots (diagnostics only)."""
+        return sum(1 for slot in self._slots if slot is not None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingBuffer(capacity={self._capacity}, occupied={self.occupied()})"

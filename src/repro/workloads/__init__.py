@@ -1,0 +1,58 @@
+"""Workloads: query patterns, zone generators, and traffic sources.
+
+The four query patterns from the paper's measurement study
+(Section 2.2.1 / Appendix A):
+
+- **P1 WC**: pseudo-random names answered by wildcard synthesis
+  (NOERROR, cache-bypassing);
+- **P2 NX**: pseudo-random names eliciting NXDOMAIN (the pseudo-random
+  subdomain / Water Torture pattern);
+- **P3 CQ**: predefined names starting long CNAME chains whose targets
+  have many labels -- amplified by QNAME minimisation;
+- **P4 FF**: predefined names owning large NS fan-outs whose targets
+  own further NS fan-outs -- quadratic amplification (Figure 12b).
+
+Plus the clients that send them: configurable stubs (rate, start/stop,
+retries, optional DCC-awareness) and the Table 2 schedules used by the
+Figure 8/9 evaluation scenarios.
+"""
+
+from repro.workloads.patterns import (
+    QueryPattern,
+    WildcardPattern,
+    NxdomainPattern,
+    CnameChainPattern,
+    FanoutPattern,
+)
+from repro.workloads.zonegen import (
+    build_root_zone,
+    build_target_zone,
+    build_ff_attacker_zone,
+    add_cq_instances,
+    DEAD_ADDRESS,
+)
+from repro.workloads.clients import StubClient, ClientConfig, RequestRecord
+from repro.workloads.schedule import ClientSpec, TABLE2_SCENARIOS, table2_clients
+from repro.workloads.realistic import ZipfPattern, TracePattern, zipf_catalogue
+
+__all__ = [
+    "QueryPattern",
+    "WildcardPattern",
+    "NxdomainPattern",
+    "CnameChainPattern",
+    "FanoutPattern",
+    "build_root_zone",
+    "build_target_zone",
+    "build_ff_attacker_zone",
+    "add_cq_instances",
+    "DEAD_ADDRESS",
+    "StubClient",
+    "ClientConfig",
+    "RequestRecord",
+    "ClientSpec",
+    "TABLE2_SCENARIOS",
+    "table2_clients",
+    "ZipfPattern",
+    "TracePattern",
+    "zipf_catalogue",
+]

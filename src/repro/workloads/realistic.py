@@ -1,0 +1,131 @@
+"""Realistic benign workloads: popularity-skewed and trace-driven.
+
+The attack patterns (WC/NX/CQ/FF) deliberately bypass caching; real
+client populations do the opposite -- their queries follow a heavy-tailed
+popularity distribution and hit the resolver cache most of the time.
+These workloads matter to DCC because cache hits take the resolver's
+fast path and "are treated as normal by DCC" (Section 3.2.3): a
+realistic client exercises the shim far less than its raw request rate
+suggests.
+
+- :class:`ZipfPattern` -- names drawn from a Zipf(s) popularity law
+  over a fixed catalogue (web-like DNS traffic is classically
+  approximated this way);
+- :class:`TracePattern` -- replays an explicit query list (e.g. from a
+  captured log), looping or stopping at the end;
+- :func:`zipf_catalogue` -- builds a catalogue of plausible hostnames
+  under one or more zones.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Optional, Sequence
+
+from repro.dnscore.message import Question
+from repro.dnscore.name import Name, NameLike, as_name
+from repro.dnscore.rdata import RRType
+from repro.workloads.patterns import QueryPattern
+
+_HOST_PREFIXES = (
+    "www", "api", "cdn", "mail", "img", "static", "app", "m",
+    "login", "shop", "video", "news", "search", "blog", "docs",
+)
+
+
+def zipf_catalogue(
+    origins: Sequence[NameLike],
+    size: int,
+    rng: Optional[random.Random] = None,
+) -> List[Name]:
+    """``size`` plausible hostnames spread across ``origins``."""
+    rng = rng or random.Random(0)
+    resolved = [as_name(origin) for origin in origins]
+    catalogue: List[Name] = []
+    for i in range(size):
+        origin = resolved[i % len(resolved)]
+        prefix = _HOST_PREFIXES[i % len(_HOST_PREFIXES)]
+        label = prefix if i < len(_HOST_PREFIXES) else f"{prefix}{i}"
+        catalogue.append(origin.child(label))
+    rng.shuffle(catalogue)
+    return catalogue
+
+
+class ZipfPattern(QueryPattern):
+    """Names drawn Zipf(s)-distributed from a fixed catalogue.
+
+    With the default exponent (s = 1.0) and a 1000-name catalogue, the
+    top 20 names absorb ~half of all queries -- so a resolver cache with
+    even short TTLs serves most requests without upstream traffic.
+    """
+
+    tag = "ZF"
+
+    def __init__(
+        self,
+        catalogue: Sequence[Name],
+        exponent: float = 1.0,
+        rrtype: RRType = RRType.A,
+    ) -> None:
+        if not catalogue:
+            raise ValueError("catalogue must not be empty")
+        if exponent <= 0:
+            raise ValueError(f"exponent must be positive, got {exponent}")
+        self.catalogue = list(catalogue)
+        self.exponent = exponent
+        self.rrtype = rrtype
+        # Precomputed cumulative weights for O(log n) sampling.
+        weights = [1.0 / (rank ** exponent) for rank in range(1, len(catalogue) + 1)]
+        self._cumulative: List[float] = list(itertools.accumulate(weights))
+
+    def next_question(self, rng: random.Random) -> Question:
+        point = rng.random() * self._cumulative[-1]
+        index = bisect.bisect_left(self._cumulative, point)
+        index = min(index, len(self.catalogue) - 1)
+        return Question(self.catalogue[index], self.rrtype)
+
+    def expected_hit_mass(self, top: int) -> float:
+        """Fraction of queries landing on the ``top`` most popular names."""
+        return self._cumulative[min(top, len(self.catalogue)) - 1] / self._cumulative[-1]
+
+
+class TracePattern(QueryPattern):
+    """Replays an explicit (name, type) sequence.
+
+    ``loop=True`` wraps around at the end (steady-state replay);
+    ``loop=False`` repeats the final entry once exhausted, so a client
+    driven past the trace end degenerates to a fixed query.
+    """
+
+    tag = "TR"
+
+    def __init__(self, entries: Sequence, loop: bool = True) -> None:
+        if not entries:
+            raise ValueError("trace must not be empty")
+        self.entries: List[Question] = []
+        for entry in entries:
+            if isinstance(entry, Question):
+                self.entries.append(entry)
+            elif isinstance(entry, tuple):
+                name, rrtype = entry
+                self.entries.append(Question(as_name(name), rrtype))
+            else:
+                self.entries.append(Question(as_name(entry), RRType.A))
+        self.loop = loop
+        self._position = 0
+
+    def next_question(self, rng: random.Random) -> Question:
+        if self._position >= len(self.entries):
+            if self.loop:
+                self._position = 0
+            else:
+                return self.entries[-1]
+        question = self.entries[self._position]
+        self._position += 1
+        return question
+
+    @property
+    def position(self) -> int:
+        return self._position

@@ -1,0 +1,186 @@
+"""Zone builders for the evaluation topologies and attack patterns.
+
+These functions construct the zones the paper's Appendix A describes:
+target zones with wildcard subtrees, CNAME-chain instances (Figure 12a),
+and attacker zones with nested NS fan-outs (Figure 12b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.dnscore.name import Name, NameLike, as_name
+from repro.dnscore.zone import Zone
+
+#: an address no node is attached to: queries there vanish (timeout),
+#: like the 127.0.0.1 placeholders in the paper's example zones
+DEAD_ADDRESS = "203.0.113.254"
+
+
+def build_root_zone(delegations: Dict[str, Tuple[str, str]], ttl: int = 3600) -> Zone:
+    """The root zone, delegating each origin to (ns host name, address).
+
+    The simulation collapses the root/TLD hierarchy into a single root
+    that delegates the experiment domains directly; the delegation + glue
+    TTLs are long, so root traffic is negligible after the first lookup,
+    as in the real experiments.
+    """
+    root = Zone(".", default_ttl=ttl)
+    root.add_soa(mname="a.root-servers.net.", rname="nstld.verisign-grs.com.")
+    for origin_text, (ns_name, ns_address) in delegations.items():
+        origin = as_name(origin_text)
+        ns = as_name(ns_name)
+        root.add_ns(origin, ns)
+        root.add_a(ns, ns_address)
+    return root
+
+
+def build_target_zone(
+    origin: NameLike,
+    ns_name: NameLike,
+    ns_address: str,
+    wildcard_address: str = "192.0.2.10",
+    answer_ttl: int = 1,
+    negative_ttl: int = 1,
+    ff_wildcard_address: str = DEAD_ADDRESS,
+    ff_ttl: Optional[int] = None,
+    signed: bool = False,
+) -> Zone:
+    """The victim domain's zone.
+
+    Layout (mirroring Appendix A):
+
+    - ``*.wc.<origin>`` -- wildcard for the WC pattern (TTL kept short so
+      records "can be quickly evicted from resolvers' cache and
+      re-queried");
+    - nothing under ``nx.<origin>`` -- the NX pattern's NXDOMAIN source
+      (and ``nx`` itself does not exist, so no empty-non-terminal NODATA);
+    - ``*.ff.<origin>`` -- resolves the FF pattern's second-level
+      nameserver names (``ns-t...``) to a dead address, so the amplified
+      address lookups land on this zone's server and succeed, while the
+      follow-up queries to those "servers" go nowhere;
+    - apex NS + glue for the hosting server.
+    """
+    zone = Zone(origin, default_ttl=answer_ttl, signed=signed)
+    zone.add_soa(negative_ttl=negative_ttl, ttl=answer_ttl)
+    zone.add_ns("@", ns_name, ttl=3600)
+    zone.add_a(ns_name, ns_address, ttl=3600)
+    zone.add_wildcard_a("wc", wildcard_address, ttl=answer_ttl)
+    zone.add_wildcard_a("ff", ff_wildcard_address, ttl=ff_ttl if ff_ttl is not None else answer_ttl)
+    zone.add_a("www", wildcard_address, ttl=answer_ttl)
+    zone.add_txt("@", "reproduction target zone")
+    return zone
+
+
+def add_cq_instances(
+    zone: Zone,
+    instances: int,
+    chain_len: int = 16,
+    labels: int = 15,
+    terminal_address: str = "192.0.2.20",
+    ttl: int = 1,
+) -> None:
+    """Install CQ (CNAME chain x QMIN) instances per Figure 12a.
+
+    Instance ``i`` is a chain of ``chain_len`` links; every owner and
+    target has ``labels`` numeric labels before the ``r{k}-{i}`` label,
+    so a QNAME-minimising resolver spends ~``labels`` queries per link.
+    """
+    prefix = tuple(str(labels - k) for k in range(labels))
+
+    def link_name(step: int, instance: int) -> Name:
+        return Name(prefix + (f"r{step}-{instance}",)).concat(zone.origin)
+
+    for instance in range(instances):
+        for step in range(1, chain_len):
+            zone.add_cname(link_name(step, instance), link_name(step + 1, instance), ttl=ttl)
+        zone.add_a(link_name(chain_len, instance), terminal_address, ttl=ttl)
+
+
+def build_ff_attacker_zone(
+    origin: NameLike,
+    target_origin: NameLike,
+    ns_name: NameLike,
+    ns_address: str,
+    instances: int,
+    fanout: int = 7,
+    ttl: int = 1,
+) -> Zone:
+    """The attacker-controlled zone with nested NS fan-out (Figure 12b).
+
+    - ``q-{i}`` is delegated (glue-less) to ``ns-a{j}-{i}`` for
+      ``j in [1, fanout]``;
+    - each ``ns-a{j}-{i}`` is in turn delegated (glue-less) to ``fanout``
+      names under ``ff.<target zone>``.
+
+    Resolving ``q-{i}`` therefore costs the resolver ~fanout^2 address
+    lookups against the *target's* authoritative server -- amplification
+    directed at a channel the attacker does not own.
+    """
+    zone = Zone(origin, default_ttl=ttl)
+    zone.add_soa(negative_ttl=ttl, ttl=ttl)
+    zone.add_ns("@", ns_name, ttl=3600)
+    zone.add_a(ns_name, ns_address, ttl=3600)
+    target = as_name(target_origin)
+    for instance in range(instances):
+        q_owner = f"q-{instance}"
+        for j in range(1, fanout + 1):
+            mid = f"ns-a{j}-{instance}"
+            zone.add_ns(q_owner, mid, ttl=ttl)
+            for k in range(1, fanout + 1):
+                leaf = target.child("ff").child(f"ns-t{j}{k}-{instance}")
+                zone.add_ns(mid, leaf, ttl=ttl)
+    return zone
+
+
+def expected_ff_maf(fanout: int) -> int:
+    """Theoretical queries landing on the target channel per FF request."""
+    return fanout * fanout
+
+
+def build_tld_hierarchy(
+    domains: Dict[str, str],
+    root_addr: str = "10.0.0.1",
+) -> Dict[str, Zone]:
+    """A full root -> TLD -> second-level delegation hierarchy.
+
+    ``domains`` maps second-level origins (e.g. ``"victim.com."``) to
+    their authoritative server addresses.  TLD zones are derived from
+    the domains' final labels and hosted at deterministic addresses
+    (``10.0.3.<i>``); the returned dict maps each zone origin text to
+    its :class:`Zone`, including the root.
+
+    The main experiments flatten root+TLD into one hop (the paper's
+    testbed queries its own delegations directly); this builder exists
+    for tests/examples that need real multi-cut descent, e.g. QNAME
+    minimisation across several zone cuts.
+    """
+    zones: Dict[str, Zone] = {}
+    root = Zone(".", default_ttl=3600)
+    root.add_soa(mname="a.root-servers.net.", rname="nstld.example.")
+    zones["."] = root
+
+    tld_addresses: Dict[str, str] = {}
+    next_tld_index = 1
+    for origin_text, sld_addr in domains.items():
+        origin = as_name(origin_text)
+        if len(origin) < 2:
+            raise ValueError(f"{origin} is not a second-level domain")
+        tld = origin.parent()
+        tld_text = str(tld)
+        if tld_text not in zones:
+            tld_addr = f"10.0.3.{next_tld_index}"
+            next_tld_index += 1
+            tld_addresses[tld_text] = tld_addr
+            tld_zone = Zone(tld, default_ttl=3600)
+            tld_zone.add_soa(mname=f"ns.{tld_text}", rname="hostmaster")
+            tld_zone.add_ns("@", f"ns.{tld_text}")
+            tld_zone.add_a(f"ns.{tld_text}", tld_addr)
+            zones[tld_text] = tld_zone
+            root.add_ns(tld, f"ns.{tld_text}")
+            root.add_a(f"ns.{tld_text}", tld_addr)
+        # Delegate the second-level domain inside its TLD, with glue.
+        ns_name = as_name(f"ns1.{origin_text}")
+        zones[tld_text].add_ns(origin, ns_name)
+        zones[tld_text].add_a(ns_name, sld_addr)
+    return zones

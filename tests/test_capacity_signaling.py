@@ -1,0 +1,98 @@
+"""Capacity-signal tests: in-band channel-capacity negotiation.
+
+A DCC-enabled forwarder behind a DCC-enabled resolver learns the
+resolver's ingress limit from capacity signals instead of probing --
+the third option of Section 3.2.1's footnote.
+"""
+
+import pytest
+
+from repro.dcc.shim import DccConfig, DccShim
+from repro.dcc.signaling import CapacitySignal, attach_signal, extract_signals
+from repro.dnscore.edns import EdnsOption, OptionCode
+from repro.dnscore.errors import WireDecodeError
+from repro.dnscore.message import Message
+from repro.dnscore.name import Name
+from repro.dnscore.rdata import RRType
+from repro.server.forwarder import Forwarder, ForwarderConfig
+
+from tests.conftest import RESOLVER_ADDR, TARGET_ANS_ADDR, build_topology
+
+FWD_ADDR = "10.0.2.1"
+
+
+class TestWireFormat:
+    def test_roundtrip(self):
+        signal = CapacitySignal(ingress_limit=1234.0)
+        assert CapacitySignal.decode(signal.encode()) == signal
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(WireDecodeError):
+            CapacitySignal.decode(EdnsOption(OptionCode.DCC_CAPACITY, b"\x01"))
+
+    def test_extraction_with_other_signals(self):
+        response = Message.query(Name.from_text("x."), RRType.A).make_response()
+        attach_signal(response, CapacitySignal(500.0))
+        signals = extract_signals(response)
+        assert signals == [CapacitySignal(500.0)]
+
+
+class TestEndToEndLearning:
+    def _chain(self, advertise=1000.0, every=1):
+        topo = build_topology()
+        resolver_shim = DccShim(
+            topo.resolver,
+            DccConfig(advertise_ingress_limit=advertise, advertise_every=every),
+        )
+        resolver_shim.set_channel_capacity(TARGET_ANS_ADDR, 10_000.0)
+        forwarder = Forwarder(FWD_ADDR, ForwarderConfig(upstreams=[RESOLVER_ADDR]))
+        topo.net.attach(forwarder)
+        forwarder_shim = DccShim(forwarder, DccConfig())
+        return topo, resolver_shim, forwarder_shim
+
+    def test_forwarder_learns_upstream_capacity(self):
+        topo, upstream, downstream = self._chain(advertise=750.0)
+        for i in range(5):
+            topo.client.query(FWD_ADDR, f"cap{i}.wc.target-domain.")
+            topo.sim.run(until=topo.sim.now + 0.2)
+        assert upstream.stats.capacities_advertised >= 1
+        assert downstream.stats.capacities_learned == 1
+        assert downstream.learned_capacities[RESOLVER_ADDR] == 750.0
+        bucket = downstream.scheduler.channel_bucket(RESOLVER_ADDR)
+        assert bucket.rate == 750.0
+
+    def test_repeat_advertisements_applied_once(self):
+        topo, upstream, downstream = self._chain(advertise=750.0, every=1)
+        for i in range(10):
+            topo.client.query(FWD_ADDR, f"rep{i}.wc.target-domain.")
+            topo.sim.run(until=topo.sim.now + 0.2)
+        assert downstream.stats.capacities_learned == 1  # value unchanged
+
+    def test_learned_capacity_enforced(self):
+        """Once learned, the downstream never exceeds the advertised
+        limit towards the upstream -- no probing, no overshoot."""
+        topo, upstream, downstream = self._chain(advertise=20.0)
+        # Learn the capacity first.
+        topo.client.query(FWD_ADDR, "learn.wc.target-domain.")
+        topo.sim.run(until=topo.sim.now + 0.5)
+        sent_before = topo.resolver.stats.requests_received
+        for i in range(80):
+            topo.client.query(FWD_ADDR, f"burst{i}.wc.target-domain.")
+        topo.sim.run(until=topo.sim.now + 1.0)
+        arrived = topo.resolver.stats.requests_received - sent_before
+        # bucket: burst 2 + 20/s * ~1s, far below the 80 offered
+        assert arrived <= 30
+
+    def test_no_advertisement_when_disabled(self):
+        topo = build_topology()
+        shim = DccShim(topo.resolver, DccConfig())  # no advertise limit
+        topo.resolve("plain.wc.target-domain.")
+        assert shim.stats.capacities_advertised == 0
+
+    def test_signaling_off_ignores_capacity_signals(self):
+        topo, upstream, downstream = self._chain(advertise=750.0)
+        downstream.config.signaling = False
+        for i in range(3):
+            topo.client.query(FWD_ADDR, f"off{i}.wc.target-domain.")
+            topo.sim.run(until=topo.sim.now + 0.2)
+        assert downstream.stats.capacities_learned == 0

@@ -1,0 +1,49 @@
+"""CLI dispatcher tests (fast paths only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table1_runs(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "DCC total" in out
+
+
+def test_fig2_small(capsys):
+    assert main(["fig2", "--scale", "0.05", "--resolvers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "IRL WC" in out
+    assert "Uncertain" in out
+
+
+def test_fig11_quick(capsys):
+    assert main(["fig11", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "p99" in out
+
+
+def test_fig10_quick_small_ops(capsys):
+    assert main(["fig10", "--quick", "--ops", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 10(a)" in out and "Figure 10(b)" in out
+
+
+def test_ablations(capsys):
+    assert main(["ablations"]) == 0
+    out = capsys.readouterr().out
+    assert "MOPI-FQ" in out
+    assert "MMF deviation" in out
+    assert "head-of-line" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,115 @@
+"""Smoke tests for every experiment driver (tiny configurations)."""
+
+import pytest
+
+from repro.experiments import fig2_ratelimits, fig4_attacks, fig8_resilience
+from repro.experiments import fig10_overhead, fig11_delay, table1_state
+from repro.experiments.common import AttackScenario, ScenarioConfig
+from repro.workloads.schedule import ClientSpec
+
+
+class TestCommonScenario:
+    def test_builds_all_topology_variants(self):
+        config = ScenarioConfig(
+            duration=2.0, target_ans_count=2, resolver_count=2,
+            with_forwarder=True, use_dcc=True, dcc_on_forwarder=True,
+            rr_channel_capacity=500.0,
+        )
+        scenario = AttackScenario(config)
+        scenario.add_clients([ClientSpec("c", 0.0, 2.0, 5.0, "WC")])
+        result = scenario.run()
+        assert result.clients["c"].request_count() > 0
+        assert len(scenario.shims) == 3  # 2 resolvers + forwarder
+
+    def test_switching_pattern_changes_at_third(self):
+        config = ScenarioConfig(duration=6.0, channel_capacity=10_000.0)
+        scenario = AttackScenario(config)
+        scenario.add_clients([ClientSpec("sw", 0.0, 6.0, 20.0, "NX_THEN_WC")])
+        result = scenario.run()
+        records = scenario.clients["sw"].records
+        early = [r for r in records if r.sent_at < 1.5]
+        late = [r for r in records if r.sent_at > 3.0]
+        assert all(".nx." in r.question for r in early)
+        assert all(".wc." in r.question for r in late)
+
+    def test_unknown_pattern_rejected(self):
+        scenario = AttackScenario(ScenarioConfig(duration=1.0))
+        with pytest.raises(ValueError):
+            scenario.add_clients([ClientSpec("x", 0.0, 1.0, 1.0, "BOGUS")])
+
+
+class TestFig2:
+    def test_histogram_structure(self):
+        result = fig2_ratelimits.run_figure2(scale=0.05, resolver_count=3)
+        assert len(result.measurements) == 3
+        for label in ("IRL WC", "IRL NX", "ERL CQ", "ERL FF"):
+            assert sum(result.histogram[label].values()) == 3
+        assert 0.0 <= result.bucket_accuracy() <= 1.0
+        truth = result.truth_histogram()
+        assert sum(truth["IRL true"].values()) == 3
+
+
+class TestFig4:
+    def test_setup_a_point(self):
+        sweeps = fig4_attacks.run_setup_a(rates=(2,), fanouts=(5,), time_scale=0.1)
+        assert len(sweeps) == 1 and len(sweeps[0].points) == 1
+        assert 0.0 <= sweeps[0].points[0].benign_success <= 1.0
+
+    def test_setup_c_shows_capacity_knee(self):
+        sweeps = fig4_attacks.run_setup_c(rates=(30, 200), time_scale=0.1)
+        three_up = sweeps[0]
+        assert three_up.points[0].benign_success > three_up.points[1].benign_success
+
+    def test_setup_d_egress_scaling(self):
+        sweeps = fig4_attacks.run_setup_d(rates=(40,), egress_sizes=(2, 8), time_scale=0.1)
+        small, large = sweeps[0].points[0], sweeps[1].points[0]
+        assert large.benign_success >= small.benign_success
+
+
+class TestFig8:
+    def test_scenario_run_structure(self):
+        run = fig8_resilience.run_scenario("wildcard", use_dcc=True, scale=0.05)
+        assert set(run.result.effective_qps) == {"heavy", "medium", "light", "attacker"}
+        rows = fig8_resilience.summarize(run, [("p", 0, 3)])
+        assert len(rows) == 4
+
+    def test_ff_attacker_uses_wire_metric(self):
+        run = fig8_resilience.run_scenario("amplification", use_dcc=False, scale=0.05)
+        assert run.series("attacker") is not run.result.effective_qps["attacker"]
+
+
+class TestFig10:
+    def test_overhead_point(self):
+        points = fig10_overhead.run_server_sweep([1000], clients=100, ops=2000)
+        point = points[0]
+        assert point.dcc_ops_per_sec > 0
+        assert point.dcc_state_bytes > 0
+        assert point.resolver_state_bytes > 0
+
+    def test_dcc_compute_insensitive_to_entities(self):
+        small, large = fig10_overhead.run_server_sweep([500, 20_000], clients=100, ops=4000)
+        # Within 3x across a 40x entity-count change.
+        assert large.dcc_ops_per_sec > small.dcc_ops_per_sec / 3
+
+
+class TestFig11:
+    def test_end_to_end_dcc_adds_marginal_delay(self):
+        vanilla = fig11_delay.run_end_to_end(False, requests=200)
+        dcc = fig11_delay.run_end_to_end(True, requests=200)
+        from repro.analysis.series import percentile
+
+        assert percentile(dcc.samples_ms, 50) <= percentile(vanilla.samples_ms, 50) + 0.5
+
+    def test_control_path_scales_flat(self):
+        small = fig11_delay.run_control_path(100, 100, requests=2000)
+        large = fig11_delay.run_control_path(10_000, 10_000, requests=2000)
+        from repro.analysis.series import percentile
+
+        assert percentile(large.samples_ms, 50) < percentile(small.samples_ms, 50) * 5
+
+
+class TestTable1:
+    def test_dcc_state_not_larger(self):
+        snapshot = table1_state.run_table1(duration=4.0, clients=4, rate=50.0)
+        assert snapshot.dcc_not_larger()
+        assert snapshot.dcc["per-client (monitoring, policies)"] >= 4

@@ -1,0 +1,106 @@
+"""Additional experiment-harness coverage: metrics plumbing and edges."""
+
+import pytest
+
+from repro.experiments.common import AttackScenario, ScenarioConfig, SwitchingPattern
+from repro.experiments.fig2_ratelimits import Figure2Result, ResolverMeasurement
+from repro.experiments.fig8_resilience import paper_monitor_config, paper_policy_templates
+from repro.measure.population import build_population
+from repro.workloads.schedule import ClientSpec
+
+
+class TestWireMetric:
+    def test_wire_series_attributes_to_clients(self):
+        config = ScenarioConfig(duration=3.0, channel_capacity=10_000.0)
+        scenario = AttackScenario(config)
+        scenario.add_clients([
+            ClientSpec("one", 0.0, 3.0, 20.0, "WC"),
+            ClientSpec("two", 0.0, 3.0, 40.0, "WC"),
+        ])
+        result = scenario.run()
+        rate_one = sum(result.wire_qps["one"]) / 3
+        rate_two = sum(result.wire_qps["two"]) / 3
+        assert rate_two == pytest.approx(2 * rate_one, rel=0.3)
+
+    def test_forwarded_traffic_accounted_to_forwarder(self):
+        config = ScenarioConfig(
+            duration=3.0, channel_capacity=10_000.0, with_forwarder=True,
+            forwarded_clients=["behind"],
+        )
+        scenario = AttackScenario(config)
+        scenario.add_clients([
+            ClientSpec("behind", 0.0, 3.0, 20.0, "WC"),
+            ClientSpec("direct", 0.0, 3.0, 20.0, "WC"),
+        ])
+        result = scenario.run()
+        # The resolver cannot see through the forwarder: "behind"'s
+        # queries land on the forwarder pseudo-client (the paper's
+        # visibility problem).
+        assert "__forwarder__" in result.wire_qps
+        assert "behind" not in result.wire_qps
+        assert "direct" in result.wire_qps
+
+
+class TestScenarioConfigKnobs:
+    def test_paper_monitor_scaling(self):
+        config = paper_monitor_config(time_scale=0.5)
+        assert config.window == 1.0
+        assert config.suspicion_period == 30.0
+        assert config.alarm_threshold == 10  # counts do not scale
+
+    def test_paper_policy_scaling(self):
+        from repro.dcc.monitor import AnomalyKind
+
+        templates = paper_policy_templates(rate_scale=1.0, time_scale=0.5)
+        nx = templates[AnomalyKind.NXDOMAIN]
+        assert nx.duration == 10.0
+        assert nx.rate == 100.0
+
+    def test_redundant_ans_topology(self):
+        config = ScenarioConfig(duration=2.0, target_ans_count=3)
+        scenario = AttackScenario(config)
+        assert len(scenario.target_ans) == 3
+        addresses = {a.address for a in scenario.target_ans}
+        assert len(addresses) == 3
+
+    def test_switching_pattern_clock(self):
+        import random
+
+        from repro.workloads.patterns import FixedPattern
+
+        clock = [0.0]
+        pattern = SwitchingPattern(
+            FixedPattern("before.example."),
+            FixedPattern("after.example."),
+            switch_at=5.0,
+            clock=lambda: clock[0],
+        )
+        rng = random.Random(0)
+        assert str(pattern.next_question(rng).name) == "before.example."
+        clock[0] = 6.0
+        assert str(pattern.next_question(rng).name) == "after.example."
+
+
+class TestFigure2Result:
+    def _measurement(self, profile, irl=100.0):
+        return ResolverMeasurement(
+            profile=profile, irl_wc=irl, irl_nx=irl, erl_cq=None, erl_ff=None
+        )
+
+    def test_bucket_accuracy_computation(self):
+        population = build_population()[:2]
+        # First estimate correct, second off by a bucket.
+        measurements = [
+            self._measurement(population[0], irl=population[0].ingress_limit),
+            self._measurement(population[1], irl=(population[1].ingress_limit or 0) + 5000),
+        ]
+        result = Figure2Result(measurements=measurements)
+        assert result.bucket_accuracy() == 0.5
+
+    def test_truth_histogram_sums_to_population(self):
+        population = build_population()[:5]
+        measurements = [self._measurement(p, irl=p.ingress_limit) for p in population]
+        result = Figure2Result(measurements=measurements)
+        truth = result.truth_histogram()
+        assert sum(truth["IRL true"].values()) == 5
+        assert sum(truth["ERL true"].values()) == 5

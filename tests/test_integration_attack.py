@@ -1,0 +1,115 @@
+"""End-to-end integration: adversarial congestion and DCC mitigation.
+
+Small-scale versions of the paper's headline experiments, asserting the
+*shape* results: vanilla collapses, DCC protects, fairness holds.
+"""
+
+import pytest
+
+from repro.experiments.common import AttackScenario, ScenarioConfig
+from repro.experiments.fig8_resilience import paper_monitor_config, paper_policy_templates
+from repro.workloads.schedule import ClientSpec
+
+
+def run_wc_scenario(use_dcc: bool, duration: float = 12.0, seed: int = 42):
+    """3 benign x 100 QPS + attacker 800 QPS on a 500-QPS channel."""
+    config = ScenarioConfig(
+        seed=seed,
+        duration=duration,
+        channel_capacity=500.0,
+        use_dcc=use_dcc,
+        monitor=paper_monitor_config(time_scale=duration / 60.0),
+        policy_templates=paper_policy_templates(time_scale=duration / 60.0),
+    )
+    scenario = AttackScenario(config)
+    scenario.add_clients([
+        ClientSpec("b1", 0.0, duration, 100.0, "WC"),
+        ClientSpec("b2", 0.0, duration, 100.0, "WC"),
+        ClientSpec("b3", 0.0, duration, 100.0, "WC"),
+        ClientSpec("attacker", duration * 0.25, duration, 800.0, "WC", is_attacker=True),
+    ])
+    result = scenario.run()
+    return scenario, result
+
+
+class TestVanillaCollapse:
+    def test_benign_success_collapses_under_attack(self):
+        scenario, result = run_wc_scenario(use_dcc=False)
+        window = (4.0, 11.0)
+        benign = [result.success_ratio(f"b{i}", *window) for i in (1, 2, 3)]
+        assert max(benign) < 0.7  # heavily degraded
+
+    def test_benign_fine_before_attack(self):
+        scenario, result = run_wc_scenario(use_dcc=False)
+        benign = [result.success_ratio(f"b{i}", 0.5, 2.5) for i in (1, 2, 3)]
+        assert min(benign) > 0.95
+
+    def test_channel_saturated(self):
+        scenario, result = run_wc_scenario(use_dcc=False)
+        assert result.ans_queries > 500.0 * 10  # offered beyond capacity
+
+
+class TestDccProtection:
+    def test_benign_clients_keep_fair_share(self):
+        scenario, result = run_wc_scenario(use_dcc=True)
+        window = (4.0, 11.0)
+        benign = [result.success_ratio(f"b{i}", *window) for i in (1, 2, 3)]
+        # Fair share is 500/4 = 125 > benign demand 100: fully served.
+        assert min(benign) > 0.9
+
+    def test_dcc_beats_vanilla_for_benign(self):
+        _, vanilla = run_wc_scenario(use_dcc=False)
+        _, dcc = run_wc_scenario(use_dcc=True)
+        window = (4.0, 11.0)
+        vanilla_mean = sum(vanilla.success_ratio(f"b{i}", *window) for i in (1, 2, 3)) / 3
+        dcc_mean = sum(dcc.success_ratio(f"b{i}", *window) for i in (1, 2, 3)) / 3
+        assert dcc_mean > vanilla_mean + 0.25
+
+    def test_attacker_capped_near_fair_share(self):
+        scenario, result = run_wc_scenario(use_dcc=True)
+        attacker_series = result.effective_qps["attacker"]
+        late = attacker_series[6:11]
+        mean_rate = sum(late) / len(late)
+        # Fair share is ~200 (work-conserving leftovers included);
+        # the attacker must never exceed that despite offering 800.
+        assert mean_rate < 320
+
+    def test_work_conservation(self):
+        scenario, result = run_wc_scenario(use_dcc=True)
+        totals = [
+            sum(series[t] for series in result.effective_qps.values())
+            for t in range(6, 11)
+        ]
+        assert sum(totals) / len(totals) > 400  # near the 500 capacity
+
+
+class TestAmplificationMitigation:
+    def test_ff_attacker_blocked_by_dcc(self):
+        duration = 14.0
+        config = ScenarioConfig(
+            seed=7,
+            duration=duration,
+            channel_capacity=500.0,
+            use_dcc=True,
+            monitor=paper_monitor_config(time_scale=duration / 60.0),
+            policy_templates=paper_policy_templates(time_scale=duration / 60.0),
+            ff_fanout=5,
+            ff_instances=60,
+        )
+        scenario = AttackScenario(config)
+        scenario.add_clients([
+            ClientSpec("benign", 0.0, duration, 100.0, "WC"),
+            ClientSpec("attacker", 2.0, duration, 20.0, "FF", is_attacker=True),
+        ])
+        result = scenario.run()
+        shim = scenario.shims[0]
+        assert shim.monitor.stats.convictions >= 1
+        assert shim.stats.queries_policed > 0
+        # While the block policy is active, the attacker's wire share
+        # dries up (timing of re-conviction gaps varies, so check the
+        # quietest stretch rather than a fixed instant).
+        wire = result.wire_qps.get("attacker", [])
+        assert wire
+        assert min(wire[6:12]) < max(wire) * 0.2
+        # The benign client rides through.
+        assert result.success_ratio("benign", 8.0, 13.0) > 0.9

@@ -1,0 +1,85 @@
+"""End-to-end signaling integration on a forwarder chain (Figure 9)."""
+
+import pytest
+
+from repro.experiments.fig9_signaling import collateral_damage, run_scenario
+
+
+@pytest.fixture(scope="module")
+def nx_runs():
+    scale = 0.15
+    return {
+        "off": run_scenario("nxdomain", signaling=False, scale=scale),
+        "on": run_scenario("nxdomain", signaling=True, scale=scale),
+        "scale": scale,
+    }
+
+
+class TestSignalingOff:
+    def test_forwarder_policed_collateral_damage(self, nx_runs):
+        """Without signals, the resolver can only police the forwarder:
+        its benign clients are fate-sharing with the attacker."""
+        damage = collateral_damage(nx_runs["off"], nx_runs["scale"])
+        assert damage["heavy"] < 0.6
+        assert damage["light"] < 0.8
+
+    def test_direct_client_untouched(self, nx_runs):
+        scale = nx_runs["scale"]
+        medium = nx_runs["off"].result.success_ratio("medium", 25 * scale, 45 * scale)
+        assert medium > 0.7
+
+
+class TestSignalingOn:
+    def test_benign_clients_saved(self, nx_runs):
+        damage = collateral_damage(nx_runs["on"], nx_runs["scale"])
+        assert damage["heavy"] > 0.8
+        assert damage["light"] > 0.8
+
+    def test_attacker_still_suppressed(self, nx_runs):
+        scale = nx_runs["scale"]
+        attacker = nx_runs["on"].result.success_ratio("attacker", 30 * scale, 55 * scale)
+        assert attacker < 0.3
+
+    def test_signaling_strictly_better_for_innocents(self, nx_runs):
+        off = collateral_damage(nx_runs["off"], nx_runs["scale"])
+        on = collateral_damage(nx_runs["on"], nx_runs["scale"])
+        assert on["heavy"] > off["heavy"] + 0.2
+        assert on["light"] > off["light"] + 0.1
+
+    def test_forwarder_policed_the_culprit(self, nx_runs):
+        # One of the shims (the forwarder's) applied a signal-triggered
+        # policy against the attacker.
+        shims = nx_runs["on"].result
+        scenario_shims = nx_runs["on"]
+        total_triggered = sum(
+            s.stats.signal_triggered_policings for s in _shims_of(nx_runs["on"])
+        )
+        assert total_triggered >= 1
+
+
+def _shims_of(run):
+    # The scenario object is not kept on the result; re-derive from the
+    # run's clients' resolver... simpler: stats were aggregated during
+    # the run -- walk the client network.
+    client = next(iter(run.result.clients.values()))
+    network = client.network
+    shims = []
+    for node in network._nodes.values():
+        hook = getattr(node, "egress_query_hook", None)
+        if hook is not None and hasattr(hook, "__self__"):
+            shims.append(hook.__self__)
+    return shims
+
+
+class TestAmplificationSignaling:
+    def test_ff_scenario_signaling_saves_innocents(self):
+        scale = 0.15
+        off = run_scenario("amplification", signaling=False, scale=scale)
+        on = run_scenario("amplification", signaling=True, scale=scale)
+        off_damage = collateral_damage(off, scale)
+        on_damage = collateral_damage(on, scale)
+        # Signaling off: the forwarder gets *blocked* -> near-total loss.
+        assert off_damage["heavy"] < 0.4
+        # Signaling on: the forwarder blocks the attacker instead.
+        assert on_damage["heavy"] > 0.7
+        assert on_damage["light"] > 0.7

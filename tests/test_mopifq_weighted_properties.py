@@ -1,0 +1,94 @@
+"""Property-based verification of weighted MOPI-FQ (Appendix B.1.3).
+
+Random share vectors and demand patterns, checked against the weighted
+water-filling allocation -- the generalised Theorem B.1.
+"""
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.maxmin import water_filling
+from repro.dcc.mopifq import MopiFq, MopiFqConfig
+
+
+def run_weighted(rates, shares, capacity, T=12.0, warm=4.0, seed=3,
+                 max_round=40):
+    """Event-driven single-channel run with weighted sources."""
+    rng = random.Random(seed)
+    total_share = sum(shares)
+    depth = max(total_share * max_round, 200)
+    fq = MopiFq(
+        MopiFqConfig(max_poq_depth=depth, max_round=max_round,
+                     pool_capacity=200_000),
+        share_of=lambda s: shares[int(s[1:])],
+    )
+    fq.set_channel_capacity("dst", capacity)
+    events = []
+    for i, rate in enumerate(rates):
+        heapq.heappush(events, (1.0 / rate, i, 0))
+    counts = [0] * len(rates)
+    seq = 1
+    while events:
+        t, i, _ = heapq.heappop(events)
+        if t > T:
+            break
+        while True:
+            item = fq.dequeue(t)
+            if item is None:
+                break
+            if t >= warm:
+                counts[int(item.source[1:])] += 1
+        fq.enqueue(f"s{i}", "dst", None, t)
+        gap = (1.0 / rates[i]) * (1 + rng.uniform(-0.1, 0.1))
+        heapq.heappush(events, (t + gap, i, seq))
+        seq += 1
+    return [c / (T - warm) for c in counts]
+
+
+class TestWeightedTheoremB1:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.lists(st.integers(1, 4), min_size=2, max_size=4),
+        st.integers(0, 1000),
+    )
+    def test_matches_weighted_water_filling(self, shares, seed):
+        """All sources saturate the channel: throughput ratios must
+        follow the share weights (weighted MMF with no satisfied
+        source)."""
+        capacity = 120.0
+        rates = [capacity * 2.0] * len(shares)  # everyone over-demands
+        measured = run_weighted(rates, shares, capacity, seed=seed)
+        ideal = water_filling(rates, capacity, shares=[float(s) for s in shares])
+        for got, want in zip(measured, ideal):
+            assert got == pytest.approx(want, rel=0.15)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_underloaded_weighted_source_fully_served(self, seed):
+        """A small-demand source is satisfied regardless of its weight;
+        the leftovers split by the remaining weights."""
+        shares = [1, 3, 2]
+        rates = [10.0, 500.0, 500.0]
+        capacity = 110.0
+        measured = run_weighted(rates, shares, capacity, seed=seed)
+        ideal = water_filling(rates, capacity, shares=[1.0, 3.0, 2.0])
+        assert measured[0] == pytest.approx(10.0, rel=0.2)
+        for got, want in zip(measured[1:], ideal[1:]):
+            assert got == pytest.approx(want, rel=0.15)
+
+    def test_share_zero_demand_source_costs_nothing(self):
+        """A weighted source that sends nothing leaves its share to the
+        others (work conservation with weights)."""
+        shares = [4, 1, 1]
+        rates = [0.001, 300.0, 300.0]  # s0 essentially silent
+        measured = run_weighted(rates, shares, 100.0)
+        assert measured[1] == pytest.approx(50.0, rel=0.15)
+        assert measured[2] == pytest.approx(50.0, rel=0.15)
+
+    def test_extreme_share_ratio(self):
+        measured = run_weighted([500.0, 500.0], [8, 1], 90.0)
+        assert measured[0] / max(measured[1], 1e-9) == pytest.approx(8.0, rel=0.25)

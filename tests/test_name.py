@@ -1,0 +1,143 @@
+"""Domain-name tests (RFC 1035 semantics)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnscore.errors import FormError, NameTooLong
+from repro.dnscore.name import MAX_LABEL_LENGTH, ROOT, Name, as_name
+
+label_st = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12)
+name_st = st.lists(label_st, min_size=0, max_size=6).map(Name)
+
+
+class TestConstruction:
+    def test_from_text(self):
+        n = Name.from_text("www.example.com.")
+        assert n.labels == ("www", "example", "com")
+
+    def test_trailing_dot_optional(self):
+        assert Name.from_text("example.com") == Name.from_text("example.com.")
+
+    def test_root_spellings(self):
+        assert Name.from_text(".") == ROOT
+        assert Name.from_text("") == ROOT
+        assert ROOT.is_root
+
+    def test_case_insensitive(self):
+        assert Name.from_text("WWW.Example.COM") == Name.from_text("www.example.com")
+        assert hash(Name.from_text("A.B")) == hash(Name.from_text("a.b"))
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(FormError):
+            Name.from_text("a..b")
+
+    def test_label_too_long_rejected(self):
+        with pytest.raises(NameTooLong):
+            Name(("x" * (MAX_LABEL_LENGTH + 1),))
+
+    def test_name_too_long_rejected(self):
+        labels = tuple("a" * 63 for _ in range(5))  # 5*64 + 1 > 255
+        with pytest.raises(NameTooLong):
+            Name(labels)
+
+    def test_as_name_coercion(self):
+        assert as_name("example.com.") == Name.from_text("example.com")
+        n = Name.from_text("x.y")
+        assert as_name(n) is n
+
+
+class TestStructure:
+    def test_len_counts_labels(self):
+        assert len(Name.from_text("a.b.c")) == 3
+        assert len(ROOT) == 0
+
+    def test_parent(self):
+        assert Name.from_text("a.b.c").parent() == Name.from_text("b.c")
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(FormError):
+            ROOT.parent()
+
+    def test_child(self):
+        assert Name.from_text("example.com").child("www") == Name.from_text("www.example.com")
+
+    def test_concat(self):
+        assert Name(("a",)).concat(Name.from_text("b.c")) == Name.from_text("a.b.c")
+
+    def test_is_subdomain_of(self):
+        base = Name.from_text("example.com")
+        assert Name.from_text("www.example.com").is_subdomain_of(base)
+        assert base.is_subdomain_of(base)
+        assert base.is_subdomain_of(ROOT)
+        assert not Name.from_text("example.org").is_subdomain_of(base)
+        assert not Name.from_text("notexample.com").is_subdomain_of(
+            Name.from_text("example.com")
+        )
+
+    def test_relativize(self):
+        name = Name.from_text("a.b.example.com")
+        assert name.relativize(Name.from_text("example.com")) == ("a", "b")
+        assert name.relativize(ROOT) == name.labels
+
+    def test_relativize_rejects_non_subdomain(self):
+        with pytest.raises(FormError):
+            Name.from_text("a.org").relativize(Name.from_text("com"))
+
+    def test_ancestors(self):
+        chain = list(Name.from_text("a.b.c").ancestors())
+        assert chain == [
+            Name.from_text("a.b.c"),
+            Name.from_text("b.c"),
+            Name.from_text("c"),
+            ROOT,
+        ]
+
+    def test_wildcard(self):
+        w = Name.from_text("*.example.com")
+        assert w.is_wildcard
+        assert Name.from_text("x.example.com").wildcard_sibling() == w
+
+    def test_wire_length(self):
+        # www(4) + example(8) + com(4) + root(1) = 17
+        assert Name.from_text("www.example.com").wire_length() == 17
+        assert ROOT.wire_length() == 1
+
+
+class TestOrdering:
+    def test_canonical_order_compares_from_root(self):
+        # RFC 4034: a.example < z.example < example... reversed-label order
+        assert Name.from_text("a.example") < Name.from_text("z.example")
+        assert Name.from_text("example") < Name.from_text("a.example")
+
+    def test_str_roundtrip(self):
+        assert str(Name.from_text("a.b.c")) == "a.b.c."
+        assert str(ROOT) == "."
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(name_st)
+    def test_text_roundtrip(self, name):
+        assert Name.from_text(str(name)) == name
+
+    @settings(max_examples=200, deadline=None)
+    @given(name_st)
+    def test_parent_child_inverse(self, name):
+        if not name.is_root:
+            assert name.parent().child(name.labels[0]) == name
+
+    @settings(max_examples=200, deadline=None)
+    @given(name_st, name_st)
+    def test_concat_then_relativize(self, prefix, suffix):
+        try:
+            combined = prefix.concat(suffix)
+        except NameTooLong:
+            return
+        assert combined.relativize(suffix) == prefix.labels
+
+    @settings(max_examples=100, deadline=None)
+    @given(name_st)
+    def test_ancestors_are_supersets(self, name):
+        for ancestor in name.ancestors():
+            assert name.is_subdomain_of(ancestor)

@@ -1,0 +1,175 @@
+"""Realistic workloads + serve-stale resilience tests."""
+
+import random
+
+import pytest
+
+from repro.dnscore.name import Name
+from repro.dnscore.rdata import RCode, RRType
+from repro.server.resolver import ResolverConfig
+from repro.workloads.realistic import TracePattern, ZipfPattern, zipf_catalogue
+
+from tests.conftest import RESOLVER_ADDR, build_topology
+
+
+class TestZipfPattern:
+    def test_catalogue_generation(self):
+        catalogue = zipf_catalogue(["a.example.", "b.example."], size=40)
+        assert len(catalogue) == 40
+        assert len(set(catalogue)) == 40
+        assert all(
+            name.is_subdomain_of(Name.from_text("a.example."))
+            or name.is_subdomain_of(Name.from_text("b.example."))
+            for name in catalogue
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfPattern([])
+        with pytest.raises(ValueError):
+            ZipfPattern(zipf_catalogue(["x."], 5), exponent=0)
+
+    def test_popularity_skew(self):
+        catalogue = zipf_catalogue(["example."], size=500)
+        pattern = ZipfPattern(catalogue, exponent=1.0)
+        rng = random.Random(3)
+        counts = {}
+        for _ in range(5000):
+            name = pattern.next_question(rng).name
+            counts[name] = counts.get(name, 0) + 1
+        top = sorted(counts.values(), reverse=True)
+        # Head-heavy: the most popular name dwarfs the median.
+        assert top[0] > 20 * top[len(top) // 2]
+
+    def test_expected_hit_mass_matches_samples(self):
+        catalogue = zipf_catalogue(["example."], size=100)
+        pattern = ZipfPattern(catalogue, exponent=1.0)
+        expected = pattern.expected_hit_mass(top=10)
+        rng = random.Random(4)
+        hits = sum(
+            1 for _ in range(5000)
+            if pattern.next_question(rng).name in catalogue[:10]
+        )
+        assert hits / 5000 == pytest.approx(expected, abs=0.05)
+
+    def test_cache_absorbs_zipf_traffic(self):
+        """Realistic traffic mostly hits the resolver cache, so DCC's
+        control loop sees only the cache-missing tail (Section 3.2.3)."""
+        topo = build_topology(answer_ttl=300)
+        zone = topo.target_ans.zone_for(Name.from_text("target-domain."))
+        catalogue = zipf_catalogue(["target-domain."], size=50)
+        for name in catalogue:
+            zone.add_a(name, "192.0.2.33", ttl=300)
+        pattern = ZipfPattern(catalogue, exponent=1.2)
+        rng = random.Random(5)
+        for _ in range(300):
+            question = pattern.next_question(rng)
+            topo.client.query(RESOLVER_ADDR, str(question.name))
+            topo.sim.run(until=topo.sim.now + 0.01)
+        stats = topo.resolver.stats
+        assert stats.cache_hit_responses > stats.requests_received * 0.6
+
+
+class TestTracePattern:
+    def test_replay_order(self):
+        pattern = TracePattern(["a.example.", "b.example."], loop=True)
+        rng = random.Random(0)
+        names = [str(pattern.next_question(rng).name) for _ in range(4)]
+        assert names == ["a.example.", "b.example.", "a.example.", "b.example."]
+
+    def test_non_loop_sticks_at_end(self):
+        pattern = TracePattern(["a.example.", "b.example."], loop=False)
+        rng = random.Random(0)
+        for _ in range(2):
+            pattern.next_question(rng)
+        assert str(pattern.next_question(rng).name) == "b.example."
+
+    def test_mixed_entry_forms(self):
+        from repro.dnscore.message import Question
+
+        pattern = TracePattern([
+            "plain.example.",
+            ("typed.example.", RRType.TXT),
+            Question(Name.from_text("question.example."), RRType.NS),
+        ])
+        rng = random.Random(0)
+        q1, q2, q3 = (pattern.next_question(rng) for _ in range(3))
+        assert q1.rrtype == RRType.A
+        assert q2.rrtype == RRType.TXT
+        assert q3.rrtype == RRType.NS
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TracePattern([])
+
+
+class TestServeStale:
+    def test_stale_answer_when_upstream_dead(self):
+        topo = build_topology(
+            ResolverConfig(serve_stale_window=30.0), answer_ttl=2
+        )
+        fresh = topo.resolve("www.target-domain.")
+        assert fresh.rcode == RCode.NOERROR
+        # Kill the authoritative server and let the TTL lapse.
+        topo.net.detach("10.0.0.2")
+        topo.sim.run(until=topo.sim.now + 3.0)
+        stale = topo.resolve("www.target-domain.", wait=20.0)
+        assert stale.rcode == RCode.NOERROR  # served stale
+        assert stale.answers
+        assert topo.resolver.stats.stale_responses == 1
+        assert topo.resolver.cache.stale_hits == 1
+
+    def test_no_stale_without_window(self):
+        topo = build_topology(ResolverConfig(serve_stale_window=0.0), answer_ttl=2)
+        topo.resolve("www.target-domain.")
+        topo.net.detach("10.0.0.2")
+        topo.sim.run(until=topo.sim.now + 3.0)
+        response = topo.resolve("www.target-domain.", wait=20.0)
+        assert response.rcode == RCode.SERVFAIL
+
+    def test_stale_entry_expires_after_window(self):
+        topo = build_topology(
+            ResolverConfig(serve_stale_window=5.0), answer_ttl=2
+        )
+        topo.resolve("www.target-domain.")
+        topo.net.detach("10.0.0.2")
+        topo.sim.run(until=topo.sim.now + 10.0)  # past TTL + window
+        response = topo.resolve("www.target-domain.", wait=20.0)
+        assert response.rcode == RCode.SERVFAIL
+
+    def test_never_serves_stale_negatives(self):
+        topo = build_topology(
+            ResolverConfig(serve_stale_window=30.0), answer_ttl=2, negative_ttl=2
+        )
+        topo.resolve("gone.nx.target-domain.")
+        topo.net.detach("10.0.0.2")
+        topo.sim.run(until=topo.sim.now + 3.0)
+        response = topo.resolve("gone.nx.target-domain.", wait=20.0)
+        assert response.rcode == RCode.SERVFAIL  # negatives are not revived
+
+    def test_fresh_entries_still_preferred(self):
+        topo = build_topology(
+            ResolverConfig(serve_stale_window=30.0), answer_ttl=60
+        )
+        topo.resolve("www.target-domain.")
+        before = topo.target_ans.stats.queries_received
+        topo.resolve("www.target-domain.")
+        assert topo.target_ans.stats.queries_received == before  # fresh hit
+        assert topo.resolver.stats.stale_responses == 0
+
+    def test_stale_softens_adversarial_congestion_for_popular_names(self):
+        """The mitigation in action: during congestion, clients of
+        *popular* (previously cached) names survive on stale data while
+        cache-bypassing attack names still fail."""
+        topo = build_topology(
+            ResolverConfig(serve_stale_window=60.0, max_outstanding_per_server=10),
+            answer_ttl=2,
+        )
+        topo.resolve("www.target-domain.")
+        # Congest: the ANS disappears (worst case channel collapse).
+        topo.net.detach("10.0.0.2")
+        topo.sim.run(until=topo.sim.now + 3.0)
+        popular = topo.resolve("www.target-domain.", wait=20.0)
+        random_name = topo.resolve("fresh123.wc.target-domain.", wait=20.0)
+        assert popular.rcode == RCode.NOERROR
+        assert random_name.rcode == RCode.SERVFAIL

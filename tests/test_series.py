@@ -1,0 +1,121 @@
+"""Time-series / CDF / report helper tests."""
+
+import pytest
+
+from repro.analysis.report import format_series, render_table, sparkline
+from repro.analysis.series import (
+    TimeSeries,
+    bucket_counts,
+    cdf_points,
+    fraction_below,
+    percentile,
+)
+
+
+class TestTimeSeries:
+    def test_bucketing(self):
+        ts = TimeSeries(duration=10.0, bucket=1.0)
+        ts.add(0.5)
+        ts.add(0.7)
+        ts.add(3.2)
+        assert ts.at(0.5) == 2.0
+        assert ts.at(3.0) == 1.0
+        assert ts.at(5.0) == 0.0
+
+    def test_rates_per_second(self):
+        ts = TimeSeries(duration=4.0, bucket=2.0)
+        for _ in range(10):
+            ts.add(1.0)
+        assert ts.rates()[0] == 5.0  # 10 events / 2 s bucket
+
+    def test_out_of_range_ignored(self):
+        ts = TimeSeries(duration=5.0)
+        ts.add(-1.0)
+        ts.add(100.0)
+        assert sum(ts.rates()) == 0.0
+
+    def test_mean_rate_window(self):
+        ts = TimeSeries(duration=10.0)
+        for t in (1.5, 2.5, 3.5):
+            ts.add(t)
+        assert ts.mean_rate(1.0, 4.0) == pytest.approx(1.0)
+        assert ts.mean_rate(5.0, 10.0) == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TimeSeries(0)
+        with pytest.raises(ValueError):
+            TimeSeries(10, bucket=0)
+
+    def test_weighted_add(self):
+        ts = TimeSeries(duration=2.0)
+        ts.add(0.5, amount=5.0)
+        assert ts.at(0.5) == 5.0
+
+
+class TestDistributions:
+    def test_percentile_basics(self):
+        data = list(range(1, 101))
+        assert percentile(data, 50) == pytest.approx(50.5)
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 100
+
+    def test_percentile_single_sample(self):
+        assert percentile([42.0], 99) == 42.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_cdf_points_monotone(self):
+        points = cdf_points([3, 1, 2, 5, 4])
+        values = [v for v, _ in points]
+        fractions = [f for _, f in points]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_cdf_downsampling(self):
+        points = cdf_points(range(10_000), points=50)
+        assert len(points) == 50
+        assert points[-1][1] == pytest.approx(1.0)
+
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []
+
+    def test_fraction_below(self):
+        data = [1, 2, 3, 4]
+        assert fraction_below(data, 2) == 0.5
+        assert fraction_below(data, 0) == 0.0
+        assert fraction_below([], 1) == 0.0
+
+    def test_bucket_counts(self):
+        counts = bucket_counts([50, 150, 550, 9999], [1, 100, 500, 1500])
+        assert counts == [1, 1, 1]  # 9999 out of range
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        table = render_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert "longer" in lines[3]
+
+    def test_format_series(self):
+        line = format_series("test", [1.0, 2.0, 3.0, 4.0, 5.0, 6.0], every=2)
+        assert "test" in line and "1" in line and "5" in line
+
+    def test_sparkline_shape(self):
+        line = sparkline([0, 1, 2, 3, 4, 5])
+        assert len(line) == 6
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_sparkline_empty_and_flat(self):
+        assert sparkline([]) == ""
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_sparkline_downsamples(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40

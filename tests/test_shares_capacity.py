@@ -1,0 +1,159 @@
+"""Share-allocation strategies and channel-capacity learning tests."""
+
+import pytest
+
+from repro.dcc.capacity import CapacityConfig, CapacityEstimator
+from repro.dcc.mopifq import MopiFq, MopiFqConfig
+from repro.dcc.shares import EqualShares, HistoryBasedShares, RateLimitPeggedShares
+
+
+class TestEqualShares:
+    def test_everyone_is_one(self):
+        shares = EqualShares()
+        assert shares("a") == shares("b") == 1
+
+
+class TestRateLimitPeggedShares:
+    def test_default_share(self):
+        shares = RateLimitPeggedShares(default_limit=1500.0)
+        assert shares("anyone") == 1
+
+    def test_admitted_isp_gets_proportional_share(self):
+        shares = RateLimitPeggedShares(default_limit=1500.0)
+        shares.admit("isp", 6000.0)
+        assert shares("isp") == 4
+
+    def test_rounding_and_floor(self):
+        shares = RateLimitPeggedShares(default_limit=1000.0)
+        shares.admit("small", 100.0)  # below default: still share 1
+        shares.admit("mid", 2400.0)
+        assert shares("small") == 1
+        assert shares("mid") == 2
+
+    def test_max_share_clamp(self):
+        shares = RateLimitPeggedShares(default_limit=10.0, max_share=8)
+        shares.admit("whale", 1e9)
+        assert shares("whale") == 8
+
+    def test_invalid_limit(self):
+        shares = RateLimitPeggedShares()
+        with pytest.raises(ValueError):
+            shares.admit("x", 0)
+
+    def test_drives_mopifq_weighting(self):
+        shares = RateLimitPeggedShares(default_limit=100.0)
+        shares.admit("isp", 300.0)
+        fq = MopiFq(MopiFqConfig(max_poq_depth=100), share_of=shares)
+        for _ in range(3):
+            fq.enqueue("isp", "d", None, 0.0)
+        fq.enqueue("home", "d", None, 0.0)
+        round0 = [src for src, r in fq.queue_snapshot("d") if r == 0]
+        assert round0.count("isp") == 3 and round0.count("home") == 1
+
+
+class TestHistoryBasedShares:
+    def test_newcomer_gets_one(self):
+        shares = HistoryBasedShares()
+        assert shares("new") == 1
+
+    def test_long_standing_volume_earns_share(self):
+        shares = HistoryBasedShares(baseline=100.0, alpha=0.5)
+        for _ in range(20):
+            shares.observe("isp", queries=400.0)
+        assert shares("isp") >= 3
+
+    def test_convicted_windows_earn_nothing(self):
+        shares = HistoryBasedShares(baseline=100.0, alpha=0.5)
+        for _ in range(20):
+            shares.observe("attacker", queries=10_000.0, benign=False)
+        assert shares("attacker") == 1
+        assert shares.history_of("attacker") == 0.0
+
+    def test_share_decays_when_quiet(self):
+        shares = HistoryBasedShares(baseline=100.0, alpha=0.5)
+        for _ in range(10):
+            shares.observe("former", queries=1000.0)
+        high = shares("former")
+        for _ in range(30):
+            shares.observe("former", queries=0.0)
+        assert shares("former") < high
+
+    def test_clamped_to_max(self):
+        shares = HistoryBasedShares(baseline=1.0, alpha=1.0, max_share=4)
+        shares.observe("whale", queries=1e9)
+        assert shares("whale") == 4
+
+
+class TestCapacityEstimator:
+    def config(self):
+        return CapacityConfig(
+            initial=1000.0, window=1.0, loss_threshold=0.05,
+            decrease_factor=0.5, increase_step=100.0, quiet_windows=2,
+            min_observations=5,
+        )
+
+    def _feed(self, estimator, channel, now, deliveries, losses):
+        for i in range(deliveries):
+            estimator.record_delivery(channel, now + i * 1e-3)
+        for i in range(losses):
+            estimator.record_loss(channel, now + i * 1e-3)
+
+    def test_losses_cut_estimate(self):
+        estimator = CapacityEstimator(self.config())
+        self._feed(estimator, "ch", 0.2, deliveries=50, losses=50)
+        changed = estimator.evaluate(1.0)
+        assert changed == {"ch": 500.0}
+        assert estimator.decreases == 1
+
+    def test_repeated_losses_keep_cutting_to_floor(self):
+        config = self.config()
+        config.floor = 400.0
+        estimator = CapacityEstimator(config)
+        for w in range(5):
+            self._feed(estimator, "ch", w * 1.0 + 0.2, deliveries=0, losses=20)
+            estimator.evaluate((w + 1) * 1.0)
+        assert estimator.estimate("ch") == 400.0
+
+    def test_clean_windows_grow_estimate(self):
+        estimator = CapacityEstimator(self.config())
+        for w in range(4):
+            self._feed(estimator, "ch", w * 1.0 + 0.2, deliveries=50, losses=0)
+            estimator.evaluate((w + 1) * 1.0)
+        assert estimator.estimate("ch") > 1000.0
+        assert estimator.increases >= 1
+
+    def test_quiet_channels_not_adjusted(self):
+        estimator = CapacityEstimator(self.config())
+        estimator.record_delivery("ch", 0.1)  # below min_observations
+        assert estimator.evaluate(1.0) == {}
+        assert estimator.estimate("ch") == 1000.0
+
+    def test_seed_from_signal(self):
+        estimator = CapacityEstimator(self.config())
+        estimator.seed("ch", 250.0)
+        assert estimator.estimate("ch") == 250.0
+        estimator.seed("ch", 1e12)  # clamped to ceiling
+        assert estimator.estimate("ch") == estimator.config.ceiling
+
+    def test_apply_to_scheduler(self):
+        estimator = CapacityEstimator(self.config())
+        estimator.seed("10.0.0.2", 200.0)
+        fq = MopiFq(MopiFqConfig())
+        estimator.apply_to(fq, "10.0.0.2")
+        bucket = fq.channel_bucket("10.0.0.2")
+        assert bucket.rate == 200.0
+        assert bucket.burst == pytest.approx(20.0)
+
+    def test_convergence_toward_true_limit(self):
+        """AIMD hunts the hidden upstream limit from both directions."""
+        true_limit = 300.0
+        estimator = CapacityEstimator(self.config())
+        now = 0.0
+        for w in range(40):
+            now = w * 1.0 + 0.2
+            offered = estimator.estimate("ch")
+            delivered = min(offered, true_limit)
+            lost = max(0.0, offered - true_limit)
+            self._feed(estimator, "ch", now, int(delivered / 10), int(lost / 10))
+            estimator.evaluate(w * 1.0 + 1.0)
+        assert 150.0 <= estimator.estimate("ch") <= 450.0

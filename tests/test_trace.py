@@ -1,0 +1,85 @@
+"""Message-trace tests."""
+
+import pytest
+
+from repro.dnscore.rdata import RCode
+from repro.netsim.trace import MessageTrace
+
+from tests.conftest import RESOLVER_ADDR, TARGET_ANS_ADDR, build_topology
+
+
+def test_records_delivered_messages():
+    topo = build_topology()
+    trace = MessageTrace(topo.net)
+    topo.resolve("t.wc.target-domain.")
+    # client->resolver, resolver->root, root->resolver,
+    # resolver->ans, ans->resolver, resolver->client = 6 deliveries
+    assert len(trace) == 6
+    assert trace.records[0].question.startswith("t.wc.target-domain.")
+
+
+def test_tracing_is_passive():
+    plain = build_topology()
+    traced = build_topology()
+    MessageTrace(traced.net)
+    r1 = plain.resolve("same.wc.target-domain.")
+    r2 = traced.resolve("same.wc.target-domain.")
+    assert r1.rcode == r2.rcode == RCode.NOERROR
+    assert plain.resolver.stats.queries_sent == traced.resolver.stats.queries_sent
+
+
+def test_predicate_filters():
+    topo = build_topology()
+    trace = MessageTrace(
+        topo.net, predicate=lambda src, dst, msg: dst == TARGET_ANS_ADDR
+    )
+    topo.resolve("f.wc.target-domain.")
+    assert len(trace) == 1
+    assert trace.records[0].dst == TARGET_ANS_ADDR
+
+
+def test_channel_counts_and_between():
+    topo = build_topology()
+    trace = MessageTrace(topo.net)
+    for i in range(3):
+        topo.resolve(f"c{i}.wc.target-domain.")
+    counts = trace.channel_counts()
+    assert counts[(RESOLVER_ADDR, TARGET_ANS_ADDR)] == 3
+    assert len(trace.between(RESOLVER_ADDR, TARGET_ANS_ADDR)) == 3
+
+
+def test_summary_ranks_busiest_channel():
+    topo = build_topology()
+    trace = MessageTrace(topo.net)
+    for i in range(5):
+        topo.resolve(f"s{i}.wc.target-domain.")
+    first_line = trace.summary(top=1)
+    assert "->" in first_line and "msgs" in first_line
+
+
+def test_max_records_bound():
+    topo = build_topology()
+    trace = MessageTrace(topo.net, max_records=4)
+    for i in range(3):
+        topo.resolve(f"m{i}.wc.target-domain.")
+    assert len(trace) == 4
+    assert trace.dropped > 0
+    assert "beyond max_records" in trace.summary()
+
+
+def test_detach_stops_tracing():
+    topo = build_topology()
+    trace = MessageTrace(topo.net)
+    topo.resolve("one.wc.target-domain.")
+    size = len(trace)
+    trace.detach()
+    topo.resolve("two.wc.target-domain.")
+    assert len(trace) == size
+
+
+def test_record_rendering():
+    topo = build_topology()
+    trace = MessageTrace(topo.net)
+    topo.resolve("r.wc.target-domain.")
+    rendered = trace.dump(limit=3)
+    assert "r.wc.target-domain." in rendered

@@ -1,0 +1,168 @@
+"""OrderedMap (treap) unit + property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.ordmap import OrderedMap
+
+
+class TestBasics:
+    def test_empty_map(self):
+        om = OrderedMap()
+        assert len(om) == 0
+        assert not om
+        assert 1 not in om
+
+    def test_insert_and_get(self):
+        om = OrderedMap()
+        om[3] = "c"
+        om[1] = "a"
+        assert om[3] == "c"
+        assert om[1] == "a"
+        assert len(om) == 2
+
+    def test_overwrite_value(self):
+        om = OrderedMap()
+        om[1] = "a"
+        om[1] = "b"
+        assert om[1] == "b"
+        assert len(om) == 1
+
+    def test_get_with_default(self):
+        om = OrderedMap()
+        assert om.get(9) is None
+        assert om.get(9, "x") == "x"
+
+    def test_getitem_missing_raises(self):
+        om = OrderedMap()
+        with pytest.raises(KeyError):
+            om[42]
+
+    def test_delete(self):
+        om = OrderedMap()
+        om[1] = "a"
+        del om[1]
+        assert 1 not in om
+        assert len(om) == 0
+
+    def test_delete_missing_raises(self):
+        om = OrderedMap()
+        with pytest.raises(KeyError):
+            del om[1]
+
+    def test_pop_with_default(self):
+        om = OrderedMap()
+        assert om.pop(1, "fallback") == "fallback"
+        om[1] = "a"
+        assert om.pop(1) == "a"
+        assert 1 not in om
+
+    def test_pop_missing_raises(self):
+        om = OrderedMap()
+        with pytest.raises(KeyError):
+            om.pop(5)
+
+    def test_clear(self):
+        om = OrderedMap()
+        for i in range(10):
+            om[i] = i
+        om.clear()
+        assert len(om) == 0
+
+
+class TestOrderedQueries:
+    def test_min_max(self):
+        om = OrderedMap()
+        for key in (5, 3, 8, 1, 9):
+            om[key] = str(key)
+        assert om.min_item() == (1, "1")
+        assert om.max_item() == (9, "9")
+
+    def test_min_on_empty_raises(self):
+        with pytest.raises(KeyError):
+            OrderedMap().min_item()
+
+    def test_max_on_empty_raises(self):
+        with pytest.raises(KeyError):
+            OrderedMap().max_item()
+
+    def test_pop_min_drains_in_order(self):
+        om = OrderedMap()
+        for key in (4, 2, 7, 1):
+            om[key] = key
+        assert [om.pop_min()[0] for _ in range(4)] == [1, 2, 4, 7]
+        assert not om
+
+    def test_succ(self):
+        om = OrderedMap()
+        for key in (10, 20, 30):
+            om[key] = key
+        assert om.succ(10) == (20, 20)
+        assert om.succ(15) == (20, 20)
+        assert om.succ(30) is None
+
+    def test_iteration_is_sorted(self):
+        om = OrderedMap()
+        keys = [9, 4, 6, 2, 8, 0, 5]
+        for key in keys:
+            om[key] = -key
+        assert list(om) == sorted(keys)
+        assert list(om.values()) == [-k for k in sorted(keys)]
+
+    def test_tuple_keys(self):
+        """MOPI-FQ keys are (time, seq) tuples."""
+        om = OrderedMap()
+        om[(1.0, 2)] = "b"
+        om[(1.0, 1)] = "a"
+        om[(0.5, 9)] = "c"
+        assert om.min_item() == ((0.5, 9), "c")
+        del om[(0.5, 9)]
+        assert om.min_item() == ((1.0, 1), "a")
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from("idg"), st.integers(0, 50))))
+    def test_model_equivalence(self, ops):
+        """Random insert/delete/get behaves like a dict + sorted()."""
+        om = OrderedMap()
+        model = {}
+        for op, key in ops:
+            if op == "i":
+                om[key] = key * 2
+                model[key] = key * 2
+            elif op == "d":
+                if key in model:
+                    del om[key]
+                    del model[key]
+                else:
+                    assert key not in om
+            else:
+                assert om.get(key) == model.get(key)
+        assert len(om) == len(model)
+        assert list(om.items()) == sorted(model.items())
+        if model:
+            assert om.min_item()[0] == min(model)
+            assert om.max_item()[0] == max(model)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1000), min_size=1, unique=True))
+    def test_pop_min_total_order(self, keys):
+        om = OrderedMap()
+        for key in keys:
+            om[key] = None
+        drained = [om.pop_min()[0] for _ in range(len(keys))]
+        assert drained == sorted(keys)
+
+    def test_adversarial_sorted_insert(self):
+        """Sequential keys (worst case for a plain BST) stay usable."""
+        om = OrderedMap()
+        n = 5000
+        for i in range(n):
+            om[i] = i
+        assert om.min_item() == (0, 0)
+        assert om.max_item() == (n - 1, n - 1)
+        for i in range(0, n, 7):
+            del om[i]
+        assert len(om) == n - len(range(0, n, 7))

@@ -1,0 +1,62 @@
+"""RingBuffer unit tests."""
+
+import pytest
+
+from repro.util.ringbuf import RingBuffer
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        RingBuffer(0)
+    with pytest.raises(ValueError):
+        RingBuffer(-3)
+
+
+def test_set_get_roundtrip():
+    rb = RingBuffer(4)
+    rb.set(0, "a")
+    assert rb.get(0) == "a"
+
+
+def test_absolute_indexing_wraps():
+    rb = RingBuffer(4)
+    rb.set(10, "x")
+    # Slot is index mod capacity: 10 % 4 == 2, so 6 aliases it.
+    assert rb.get(6) == "x"
+    assert rb.get(10) == "x"
+
+
+def test_aliasing_overwrites():
+    """Round r and round r+capacity share a slot -- the scheduler's
+    MAX_ROUND window guarantees they never coexist."""
+    rb = RingBuffer(4)
+    rb.set(1, "old")
+    rb.set(5, "new")
+    assert rb.get(1) == "new"
+
+
+def test_clear_at():
+    rb = RingBuffer(8)
+    rb.set(3, "v")
+    rb.clear_at(3)
+    assert rb.get(3) is None
+
+
+def test_clear_all():
+    rb = RingBuffer(8)
+    for i in range(8):
+        rb.set(i, i)
+    rb.clear()
+    assert all(rb.get(i) is None for i in range(8))
+    assert rb.occupied() == 0
+
+
+def test_occupied_counts_non_empty_slots():
+    rb = RingBuffer(5)
+    rb.set(0, 1)
+    rb.set(2, 2)
+    assert rb.occupied() == 2
+
+
+def test_capacity_property():
+    assert RingBuffer(75).capacity == 75

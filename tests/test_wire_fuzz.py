@@ -1,0 +1,77 @@
+"""Wire-codec robustness: arbitrary bytes must never crash the decoder.
+
+A DCC middlebox parses packets straight off the wire; malformed input
+must produce :class:`WireDecodeError`, never an unhandled exception --
+an attacker-reachable parser is exactly where crashes become DoS.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnscore.errors import DnsError, WireDecodeError
+from repro.dnscore.message import Message
+from repro.dnscore.name import Name
+from repro.dnscore.rdata import RRType
+from repro.dnscore.wire import decode_message, encode_message
+
+
+@settings(max_examples=400, deadline=None)
+@given(st.binary(min_size=0, max_size=200))
+def test_random_bytes_never_crash(data):
+    try:
+        decode_message(data)
+    except DnsError:
+        pass  # rejection is the expected outcome
+    except (ValueError, OverflowError) as exc:
+        pytest.fail(f"non-DNS error leaked from decoder: {exc!r}")
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=1, max_size=40), st.integers(0, 120))
+def test_truncations_of_valid_messages_never_crash(suffix, cut):
+    wire = encode_message(Message.query(Name.from_text("fuzz.example."), RRType.A))
+    mangled = wire[:cut] + suffix
+    try:
+        decode_message(mangled)
+    except DnsError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(0, 60), st.integers(0, 255))
+def test_single_byte_corruption_never_crashes(position, value):
+    wire = bytearray(
+        encode_message(Message.query(Name.from_text("bit.flip.example."), RRType.A))
+    )
+    if position < len(wire):
+        wire[position] = value
+    try:
+        decoded = decode_message(bytes(wire))
+        # If it still parses, the structures must be self-consistent.
+        assert decoded.question is not None
+    except DnsError:
+        pass
+
+
+def test_pointer_chain_bomb_rejected():
+    """A ladder of compression pointers must hit the hop limit, not
+    loop or recurse unboundedly."""
+    header = b"\x00\x01\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00"
+    # Pointers each pointing 2 bytes back, ending far before any label.
+    ladder = b"".join(
+        (0xC000 | offset).to_bytes(2, "big") for offset in range(12, 90, 2)
+    )
+    with pytest.raises(WireDecodeError):
+        decode_message(header + ladder + b"\x00\x01\x00\x01")
+
+
+def test_enormous_rdlength_rejected():
+    wire = bytearray(
+        encode_message(Message.query(Name.from_text("big.example."), RRType.A))
+    )
+    # Claim a giant OPT RDLENGTH at the tail (last two bytes of the OPT
+    # record's length field precede its empty payload).
+    wire[-2:] = b"\xff\xff"
+    with pytest.raises(WireDecodeError):
+        decode_message(bytes(wire))

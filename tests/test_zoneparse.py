@@ -1,0 +1,120 @@
+"""Zone text parser tests, including the paper's Figure 12 listings."""
+
+import pytest
+
+from repro.dnscore.errors import ZoneError
+from repro.dnscore.name import Name
+from repro.dnscore.rdata import RRType
+from repro.dnscore.zone import LookupStatus
+from repro.dnscore.zoneparse import parse_zone
+
+BASIC = """
+$ORIGIN example.com.
+$TTL 600
+@       IN SOA ns1 hostmaster 1 3600 600 86400 300
+@       IN NS  ns1
+ns1     IN A   10.0.0.1
+www     300 IN A 192.0.2.1
+        IN A   192.0.2.2      ; same owner, inherited
+alias   IN CNAME www
+mail    IN MX  10 mx1
+mx1     IN A   192.0.2.3
+txt     IN TXT "some text"
+*.wc    IN A   192.0.2.99
+"""
+
+
+def test_basic_zone():
+    zone = parse_zone(BASIC)
+    assert zone.origin == Name.from_text("example.com.")
+    result = zone.lookup("www.example.com.", RRType.A)
+    assert result.status == LookupStatus.ANSWER
+    assert len(result.answers[0]) == 2
+
+
+def test_owner_inheritance():
+    zone = parse_zone(BASIC)
+    rrset = zone.rrset("www", RRType.A)
+    addresses = {rec.rdata.address for rec in rrset}
+    assert addresses == {"192.0.2.1", "192.0.2.2"}
+
+
+def test_explicit_ttl_honoured():
+    zone = parse_zone(BASIC)
+    assert zone.rrset("www", RRType.A).records[0].ttl == 300
+    assert zone.rrset("ns1", RRType.A).records[0].ttl == 600
+
+
+def test_mx_and_txt():
+    zone = parse_zone(BASIC)
+    mx = zone.rrset("mail", RRType.MX).records[0].rdata
+    assert mx.preference == 10
+    assert mx.exchange == Name.from_text("mx1.example.com.")
+    assert zone.rrset("txt", RRType.TXT).records[0].rdata.text == "some text"
+
+
+def test_wildcard_from_text():
+    zone = parse_zone(BASIC)
+    result = zone.lookup("anything.wc.example.com.", RRType.A)
+    assert result.status == LookupStatus.ANSWER and result.wildcard
+
+
+def test_origin_argument():
+    zone = parse_zone("@ SOA ns1 admin 1 1 1 1 60\nwww A 1.2.3.4", origin="test.org.")
+    assert zone.origin == Name.from_text("test.org.")
+
+
+def test_missing_origin_raises():
+    with pytest.raises(ZoneError):
+        parse_zone("www A 1.2.3.4")
+
+
+def test_empty_zone_raises():
+    with pytest.raises(ZoneError):
+        parse_zone("; only a comment\n")
+
+
+def test_unknown_type_raises():
+    with pytest.raises(ZoneError):
+        parse_zone("$ORIGIN t.\n@ SOA a b 1 1 1 1 1\nx BOGUS data")
+
+
+def test_paper_figure12a_cq_zone():
+    """The CNAME-chain zone from the paper's appendix (Figure 12a),
+    including its '>zone' header and '//' comments."""
+    text = """
+>zone target-domain @ 127.0.0.1
+@ SOA ns1 admin 1 3600 600 86400 1
+// Amplification instance 1
+15.14.13.12.11.10.9.8.7.6.5.4.3.2.1.r1-1 CNAME 15.14.13.12.11.10.9.8.7.6.5.4.3.2.1.r2-1
+15.14.13.12.11.10.9.8.7.6.5.4.3.2.1.r2-1 CNAME 15.14.13.12.11.10.9.8.7.6.5.4.3.2.1.r3-1
+15.14.13.12.11.10.9.8.7.6.5.4.3.2.1.r3-1 A 127.0.0.1
+"""
+    zone = parse_zone(text)
+    head = "15.14.13.12.11.10.9.8.7.6.5.4.3.2.1.r1-1.target-domain."
+    result = zone.lookup(head, RRType.A)
+    assert result.status == LookupStatus.CNAME
+    target = result.answers[0].records[0].rdata.target
+    assert str(target).startswith("15.14.13.12.11.10.9.8.7.6.5.4.3.2.1.r2-1")
+
+
+def test_paper_figure12b_ff_zone():
+    """The NS fan-out zone (Figure 12b): glue-less nested delegations."""
+    text = """
+>zone attacker-com @ 127.0.0.2
+@ SOA ns1 admin 1 3600 600 86400 1
+q-1 NS ns-a1-1
+q-1 NS ns-a2-1
+ns-a1-1 NS ns-t11-1.target-domain.
+ns-a1-1 NS ns-t12-1.target-domain.
+ns-a2-1 NS ns-t21-1.target-domain.
+"""
+    zone = parse_zone(text)
+    result = zone.lookup("q-1.attacker-com.", RRType.A)
+    assert result.status == LookupStatus.DELEGATION
+    assert len(result.authority[0]) == 2
+    assert not result.additional  # no glue
+    inner = zone.lookup("ns-a1-1.attacker-com.", RRType.A)
+    assert inner.status == LookupStatus.DELEGATION
+    targets = {str(rec.rdata.target) for rec in inner.authority[0]}
+    assert targets == {"ns-t11-1.target-domain.", "ns-t12-1.target-domain."}
