@@ -10,6 +10,7 @@ regenerated without writing Python:
     python -m repro fig10 --quick
     python -m repro fig11 --quick
     python -m repro table1
+    python -m repro chaos --scale 0.25   # fault injection, DCC on/off
     python -m repro all --scale 0.1      # everything, quick settings
 """
 
@@ -57,6 +58,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table1", help="DCC state vs resolver state")
     sub.add_parser("ablations", help="design-choice ablations (schedulers, depth)")
 
+    chaos = sub.add_parser(
+        "chaos", help="resilience under infrastructure faults (DCC on/off)"
+    )
+    chaos.add_argument("--scale", type=float, default=0.25)
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument("--out", type=str, default=None,
+                       help="also write the report to this file")
+
     everything = sub.add_parser("all", help="run every experiment (quick settings)")
     everything.add_argument("--scale", type=float, default=0.1)
     return parser
@@ -97,8 +106,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments import ablations
 
         ablations.main()
+    elif args.command == "chaos":
+        from repro.experiments import chaos_resilience
+
+        chaos_resilience.main(scale=args.scale, seed=args.seed, out=args.out)
     elif args.command == "all":
         from repro.experiments import (
+            chaos_resilience,
             fig2_ratelimits,
             fig4_attacks,
             fig8_resilience,
@@ -115,6 +129,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         fig10_overhead.main(quick=True)
         fig11_delay.main(quick=True)
         table1_state.main()
+        chaos_resilience.main(scale=max(args.scale, 0.15))
     return 0
 
 

@@ -97,6 +97,7 @@ class DccShimStats:
     signal_triggered_policings: int = 0
     capacities_learned: int = 0
     capacities_advertised: int = 0
+    host_crashes: int = 0
 
 
 class DccShim:
@@ -111,10 +112,7 @@ class DccShim:
     def __init__(self, resolver, config: Optional[DccConfig] = None) -> None:
         self.resolver = resolver
         self.config = config or DccConfig()
-        if self.config.scheduler_factory is not None:
-            self.scheduler = self.config.scheduler_factory()
-        else:
-            self.scheduler = MopiFq(self.config.scheduler, share_of=self.config.share_of)
+        self.scheduler = self._make_scheduler()
         self.monitor = AnomalyMonitor(self.config.monitor)
         self.engine = PolicyEngine(
             templates=self.config.policy_templates,
@@ -128,6 +126,8 @@ class DccShim:
         self._responses_sent = 0
         #: upstream capacities learned from capacity signals
         self.learned_capacities: Dict[str, float] = {}
+        #: operator-configured capacities (the config file: survives crashes)
+        self._configured_capacities: Dict[str, Tuple[float, Optional[float]]] = {}
         self._pump_event = None
         self._pump_at: Optional[float] = None
         self._ticking = False
@@ -135,6 +135,16 @@ class DccShim:
         resolver.egress_query_hook = self._on_egress_query
         resolver.ingress_answer_hook = self._on_ingress_answer
         resolver.egress_response_hook = self._on_egress_response
+        # DCC runs on the resolver host: it dies and restarts with it.
+        # (Hosts without the Node lifecycle surface simply never crash.)
+        if hasattr(resolver, "crash_hooks"):
+            resolver.crash_hooks.append(self._on_host_crash)
+            resolver.recover_hooks.append(self._on_host_recover)
+
+    def _make_scheduler(self):
+        if self.config.scheduler_factory is not None:
+            return self.config.scheduler_factory()
+        return MopiFq(self.config.scheduler, share_of=self.config.share_of)
 
     # ------------------------------------------------------------------
     # configuration passthrough
@@ -142,7 +152,38 @@ class DccShim:
     def set_channel_capacity(self, destination: str, rate: float, burst: Optional[float] = None) -> None:
         """Pin a channel's capacity: min(upstream ingress RL, own egress
         RL), obtained by probing / operator config / DCC signaling."""
+        self._configured_capacities[destination] = (rate, burst)
         self.scheduler.set_channel_capacity(destination, rate, burst)
+
+    # ------------------------------------------------------------------
+    # host crash / recovery (graceful-degradation semantics)
+    # ------------------------------------------------------------------
+    def _on_host_crash(self) -> None:
+        """Everything in Table 1 is process memory and dies with the
+        host: queued queries, in-flight attribution, monitor verdicts and
+        alarm counts, active policies, per-request tables, and capacities
+        learned via signaling.  After a restart DCC must re-detect and
+        re-convict an ongoing attacker from scratch."""
+        self.stats.host_crashes += 1
+        if self._pump_event is not None:
+            self._pump_event.cancel()
+            self._pump_event = None
+            self._pump_at = None
+        self._inflight.clear()
+        self.learned_capacities.clear()
+        self.scheduler = self._make_scheduler()
+        self.monitor = AnomalyMonitor(self.config.monitor)
+        self.engine = PolicyEngine(
+            templates=self.config.policy_templates,
+            on_expire=self.monitor.clear_conviction,
+        )
+        self.tables = DccStateTables()
+
+    def _on_host_recover(self) -> None:
+        """Operator-configured channel capacities come back from the
+        config file; signaled/learned ones must be re-learned."""
+        for destination, (rate, burst) in self._configured_capacities.items():
+            self.scheduler.set_channel_capacity(destination, rate, burst)
 
     @property
     def now(self) -> float:
@@ -415,8 +456,9 @@ class DccShim:
     # ------------------------------------------------------------------
     def _window_tick(self) -> None:
         now = self.now
-        for event in self.monitor.evaluate(now):
-            self._act_on_event(event, now)
+        if getattr(self.resolver, "up", True):  # a crashed host evaluates nothing
+            for event in self.monitor.evaluate(now):
+                self._act_on_event(event, now)
         self.resolver.sim.schedule(self.config.monitor.window, self._window_tick)
 
     def _act_on_event(self, event: AnomalyEvent, now: float) -> None:
@@ -426,9 +468,10 @@ class DccShim:
     def _purge_tick(self) -> None:
         now = self.now
         timeout = self.config.state_idle_timeout
-        self.monitor.purge(now, timeout)
-        self.tables.purge(now)
-        self.engine.sweep(now)
+        if getattr(self.resolver, "up", True):
+            self.monitor.purge(now, timeout)
+            self.tables.purge(now)
+            self.engine.sweep(now)
         self.resolver.sim.schedule(timeout, self._purge_tick)
 
     # ------------------------------------------------------------------

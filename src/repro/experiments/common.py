@@ -28,6 +28,7 @@ from repro.dcc.mopifq import MopiFqConfig
 from repro.dcc.shim import DccConfig, DccShim
 from repro.dnscore.edns import ClientAttribution, OptionCode
 from repro.dnscore.message import Message, Question
+from repro.netsim.faults import FaultInjector
 from repro.netsim.link import Network
 from repro.netsim.sim import Simulator
 from repro.analysis.series import TimeSeries
@@ -147,6 +148,9 @@ class AttackScenario:
         self.config = config
         self.sim = Simulator(seed=config.seed)
         self.net = Network(self.sim)
+        #: fault-injection surface: chaos experiments schedule outages,
+        #: partitions, and degradation ramps here before run()
+        self.injector = FaultInjector(self.net)
         self.clients: Dict[str, StubClient] = {}
         self.shims: List[DccShim] = []
         self._client_addr: Dict[str, str] = {}

@@ -14,10 +14,30 @@ simulator:
 Virtual time is in seconds (float).  All randomness flows through named
 PRNG streams owned by the simulator, so every experiment is exactly
 reproducible from its seed.
+
+:mod:`repro.netsim.faults` adds scheduled fault injection on top:
+time-varying link degradation, partitions between address groups, and
+node crash/recover cycles honoring each node's lifecycle hooks.
 """
 
 from repro.netsim.sim import Simulator, Event
 from repro.netsim.link import Network, LinkSpec
 from repro.netsim.node import Node
+from repro.netsim.faults import (
+    FaultInjector,
+    LinkDegradation,
+    NodeOutage,
+    Partition,
+)
 
-__all__ = ["Simulator", "Event", "Network", "LinkSpec", "Node"]
+__all__ = [
+    "Simulator",
+    "Event",
+    "Network",
+    "LinkSpec",
+    "Node",
+    "FaultInjector",
+    "LinkDegradation",
+    "NodeOutage",
+    "Partition",
+]

@@ -12,7 +12,7 @@ of what makes adversarial congestion bite, cf. Figure 4b).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dnscore.message import Message
@@ -37,6 +37,10 @@ class NetworkStats:
     messages_delivered: int = 0
     messages_lost: int = 0
     messages_unroutable: int = 0
+    #: dropped because an endpoint was crashed (node down)
+    messages_dropped_down: int = 0
+    #: severed mid-air by an active partition fault
+    messages_cut: int = 0
     bytes_sent: int = 0
 
 
@@ -49,6 +53,12 @@ class Network:
         self._nodes: Dict[str, "Node"] = {}
         self._links: Dict[Tuple[str, str], LinkSpec] = {}
         self.stats = NetworkStats()
+        #: fault-injection tap: may degrade the effective LinkSpec for one
+        #: transmission or sever it entirely (returning None).  Installed
+        #: by :class:`repro.netsim.faults.FaultInjector`.
+        self.fault_shaper: Optional[
+            Callable[[str, str, LinkSpec], Optional[LinkSpec]]
+        ] = None
 
     # ------------------------------------------------------------------
     # topology
@@ -61,7 +71,12 @@ class Network:
         node.sim = self.sim
 
     def detach(self, address: str) -> None:
-        self._nodes.pop(address, None)
+        node = self._nodes.pop(address, None)
+        if node is not None:
+            # Clear the back-references, or the detached node could keep
+            # transmitting through a fabric it no longer belongs to.
+            node.network = None
+            node.sim = None
 
     def node(self, address: str) -> Optional["Node"]:
         return self._nodes.get(address)
@@ -82,6 +97,11 @@ class Network:
         self.stats.messages_sent += 1
         self.stats.bytes_sent += message.wire_length()
         spec = self.link(src, dst)
+        if self.fault_shaper is not None:
+            spec = self.fault_shaper(src, dst, spec)
+            if spec is None:  # severed by an active partition
+                self.stats.messages_cut += 1
+                return
         if spec.loss > 0 and self.sim.rng("network.loss").random() < spec.loss:
             self.stats.messages_lost += 1
             return
@@ -94,6 +114,11 @@ class Network:
         node = self._nodes.get(dst)
         if node is None:
             self.stats.messages_unroutable += 1
+            return
+        if not node.up:
+            # Datagrams to a crashed host vanish; the sender's timers
+            # discover the outage, exactly like UDP to a dead server.
+            self.stats.messages_dropped_down += 1
             return
         self.stats.messages_delivered += 1
         node.receive(message, src)

@@ -1,8 +1,18 @@
-"""Base class for simulated network entities."""
+"""Base class for simulated network entities.
+
+Every node carries an up/down lifecycle so the fault injector
+(:mod:`repro.netsim.faults`) can crash and restart infrastructure
+mid-run.  A down node neither transmits nor receives; what happens to
+its *state* across the outage is the subclass's business, expressed in
+``on_crash`` / ``on_recover`` (e.g. a recursive resolver abandons every
+in-flight resolution and loses its cache, the DCC shim loses its monitor
+and conviction tables -- all of that is process memory in the real
+systems the paper measures).
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dnscore.message import Message
@@ -23,6 +33,12 @@ class Node:
         self.address = address
         self.network: Optional["Network"] = None
         self.sim: Optional["Simulator"] = None
+        #: lifecycle: a down node cannot send or receive messages
+        self.up = True
+        #: extra lifecycle observers (the DCC shim rides its host's
+        #: crashes without subclassing it), fired after on_crash/on_recover
+        self.crash_hooks: List[Callable[[], None]] = []
+        self.recover_hooks: List[Callable[[], None]] = []
 
     @property
     def now(self) -> float:
@@ -31,10 +47,43 @@ class Node:
 
     def send(self, dst: str, message: "Message") -> None:
         assert self.network is not None, f"{self.address} is not attached to a network"
+        if not self.up:
+            # A stale timer on a crashed node must not leak traffic.
+            self.network.stats.messages_dropped_down += 1
+            return
         self.network.send(self.address, dst, message)
 
     def receive(self, message: "Message", src: str) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Take the node down, losing whatever state on_crash() says a
+        real crash of this entity would lose."""
+        if not self.up:
+            return
+        self.up = False
+        self.on_crash()
+        for hook in self.crash_hooks:
+            hook()
+
+    def recover(self) -> None:
+        """Bring the node back up (restart after a crash)."""
+        if self.up:
+            return
+        self.up = True
+        self.on_recover()
+        for hook in self.recover_hooks:
+            hook()
+
+    def on_crash(self) -> None:
+        """Subclass hook: drop whatever a process crash would lose."""
+
+    def on_recover(self) -> None:
+        """Subclass hook: re-read whatever a restart reloads from disk."""
+
     def __repr__(self) -> str:
-        return f"{type(self).__name__}({self.address})"
+        state = "" if self.up else ", down"
+        return f"{type(self).__name__}({self.address}{state})"

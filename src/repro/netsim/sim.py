@@ -17,17 +17,32 @@ from typing import Any, Callable, Dict, Optional
 class Event:
     """A scheduled callback; cancel() makes it a no-op."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Back-reference while the event sits in the owner's heap, so the
+        # owner can track how much of the heap is dead weight.  Cleared
+        # when the event is popped; cancelling after that is a no-op.
+        self._sim = sim
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -40,6 +55,10 @@ class Event:
 class Simulator:
     """Virtual clock + event heap + named deterministic PRNG streams."""
 
+    #: compact the heap only once it holds at least this many events
+    #: (tiny heaps are cheaper to drain than to rebuild)
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self, seed: int = 42) -> None:
         self._now = 0.0
         self._heap: list[Event] = []
@@ -47,6 +66,9 @@ class Simulator:
         self._seed = seed
         self._rngs: Dict[str, random.Random] = {}
         self.events_processed = 0
+        #: cancelled events still sitting in the heap (lazy cancellation)
+        self._cancelled = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # time and randomness
@@ -82,9 +104,28 @@ class Simulator:
         """Run ``fn(*args)`` at absolute virtual time ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} < now {self._now}")
-        event = Event(time, next(self._seq), fn, args)
+        event = Event(time, next(self._seq), fn, args, sim=self)
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        """Lazy cancellation bookkeeping: every answered query cancels a
+        timeout event that would otherwise linger in the heap until its
+        deadline.  Once more than half the queue is dead, rebuilding the
+        heap is cheaper than sifting the corpses through every push/pop.
+        """
+        self._cancelled += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn`` at the current instant, after already-queued
@@ -107,7 +148,9 @@ class Simulator:
             if until is not None and event.time > until:
                 break
             heapq.heappop(self._heap)
+            event._sim = None
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             event.fn(*event.args)
@@ -122,7 +165,9 @@ class Simulator:
         """Process a single event; returns False when the heap is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event._sim = None
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             event.fn(*event.args)
@@ -131,8 +176,8 @@ class Simulator:
         return False
 
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events."""
-        return len(self._heap)
+        """Number of live (non-cancelled) queued events."""
+        return len(self._heap) - self._cancelled
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self._now:.6f}, pending={len(self._heap)})"
+        return f"Simulator(now={self._now:.6f}, pending={self.pending()})"

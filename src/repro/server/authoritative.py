@@ -72,6 +72,16 @@ class AuthoritativeServer(Node):
         return best
 
     # ------------------------------------------------------------------
+    # crash / recovery lifecycle
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Zones live on disk and reload on restart; only the in-memory
+        rate-limiter table (per-client token buckets) is lost, so every
+        client starts from a full bucket after recovery."""
+        if self.ingress_rl is not None:
+            self.ingress_rl = RateLimiter(self.ingress_rl.config)
+
+    # ------------------------------------------------------------------
     # request handling
     # ------------------------------------------------------------------
     def receive(self, message: Message, src: str) -> None:

@@ -89,6 +89,21 @@ class Forwarder(Node):
         self.egress_tap = None
 
     # ------------------------------------------------------------------
+    # crash / recovery lifecycle
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """A forwarder crash loses its cache, its pending-forward table
+        (clients discover via their own timeouts), and limiter state."""
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending.clear()
+        self._rr_index = 0
+        if self.ingress_rl is not None:
+            self.ingress_rl = RateLimiter(self.config.ingress_limit)
+        self.cache = ResolverCache(max_entries=self.config.cache_size)
+
+    # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     def receive(self, message: Message, src: str) -> None:

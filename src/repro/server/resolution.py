@@ -146,6 +146,27 @@ class ResolutionTask:
     def _fail(self, rcode: RCode = RCode.SERVFAIL) -> None:
         self._finish(ResolutionOutcome(rcode=rcode))
 
+    def abandon(self) -> None:
+        """Drop this task tree without reporting an outcome.
+
+        Used when the resolver host crashes: in-flight resolution state
+        is process memory and dies with it -- no SERVFAIL goes out, the
+        client's own timer discovers the loss.  Per-server slot counts
+        are not released individually; the crashing resolver clears the
+        whole table.
+        """
+        if self.finished:
+            return
+        self.finished = True
+        self.root.in_progress.discard((self.qname, self.qtype))
+        if self._pending is not None:
+            if self._pending.timer is not None:
+                self._pending.timer.cancel()
+            self.resolver.unregister_query(self._pending.message_id)
+            self._pending = None
+        for subtask in self._subtasks:
+            subtask.abandon()
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------

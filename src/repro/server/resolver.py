@@ -95,6 +95,9 @@ class ResolverConfig:
     processing_delay: float = 0.0
     #: period of the state-purge sweep (0 disables)
     purge_interval: float = 10.0
+    #: lose the cache on a crash (an in-memory cache dies with the
+    #: process; False models a survivable shared cache tier)
+    crash_cache_wipe: bool = True
 
 
 @dataclass
@@ -156,6 +159,9 @@ class RecursiveResolver(Node):
         self._backoff_until: Dict[str, float] = {}
         #: (client, request id, qname) -> pending client request
         self._pending_requests: Dict[Tuple[str, int, Name], _PendingRequest] = {}
+        #: the "hints file": root hints survive crashes and re-prime the
+        #: cache on restart
+        self._root_hints: List[Tuple[str, str, int]] = []
 
         # DCC interception surface (None = vanilla behaviour).
         self.egress_query_hook: Optional[Callable[[Message, str], bool]] = None
@@ -173,6 +179,10 @@ class RecursiveResolver(Node):
     # ------------------------------------------------------------------
     def add_root_hint(self, server_name: str, server_address: str, ttl: int = 10**9) -> None:
         """Install a root NS + glue pair with an effectively infinite TTL."""
+        self._root_hints.append((server_name, server_address, ttl))
+        self._install_root_hint(server_name, server_address, ttl)
+
+    def _install_root_hint(self, server_name: str, server_address: str, ttl: int) -> None:
         ns_name = Name.from_text(server_name)
         ns_rrset = RRSet.of(ResourceRecord(ROOT, ttl, NSData(ns_name)))
         existing = self.cache.peek(ROOT, RRType.NS, 0.0)
@@ -182,6 +192,43 @@ class RecursiveResolver(Node):
         self.cache.put_rrset(ns_rrset, 0.0)
         glue = RRSet.of(ResourceRecord(ns_name, ttl, AData(server_address)))
         self.cache.put_rrset(glue, 0.0)
+
+    # ------------------------------------------------------------------
+    # crash / recovery lifecycle
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """A resolver crash loses everything held in process memory:
+        every in-flight resolution (clients discover via their own
+        timeouts -- no SERVFAIL is sent for abandoned requests), the
+        fetch-quota table, all learned server quality (SRTT, timeout
+        streaks, hold-downs), rate-limiter state, and -- unless disabled
+        -- the cache itself."""
+        for pending in list(self._pending_requests.values()):
+            if pending.task is not None:
+                pending.task.abandon()
+        for task in list(self._query_registry.values()):
+            task.abandon()
+        self._pending_requests.clear()
+        self._query_registry.clear()
+        self._outstanding.clear()
+        self._srtt.clear()
+        self._timeout_streak.clear()
+        self._backoff_until.clear()
+        if self.ingress_rl is not None:
+            self.ingress_rl = RateLimiter(self.config.ingress_limit)
+        if self.egress_rl is not None:
+            self.egress_rl = RateLimiter(self.config.egress_limit)
+        if self.config.crash_cache_wipe:
+            self.cache = ResolverCache(
+                max_entries=self.config.cache_size,
+                stale_window=self.config.serve_stale_window,
+            )
+
+    def on_recover(self) -> None:
+        """Restart: re-prime the root hints from the on-disk hints file
+        (the only resolution state that survives a crash)."""
+        for server_name, server_address, ttl in self._root_hints:
+            self._install_root_hint(server_name, server_address, ttl)
 
     # ------------------------------------------------------------------
     # message dispatch

@@ -46,6 +46,13 @@ def test_figure1_walkthrough(capsys):
     assert "every stub keeps its fair slice" in out
 
 
+def test_chaos_resilience(capsys):
+    run_example("chaos_resilience.py")
+    out = capsys.readouterr().out
+    assert "chaos walkthrough OK" in out
+    assert "resolver restarted" in out
+
+
 def test_all_examples_exist_and_are_documented():
     scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
     assert len(scripts) >= 7

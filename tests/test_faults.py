@@ -1,0 +1,271 @@
+"""Fault-injection subsystem tests: lifecycle, shaping, schedules."""
+
+import pytest
+
+from repro.dnscore.message import Message
+from repro.dnscore.name import Name
+from repro.dnscore.rdata import RRType
+from repro.netsim.faults import FaultInjector, LinkDegradation, NodeOutage, Partition
+from repro.netsim.link import LinkSpec, Network
+from repro.netsim.node import Node
+from repro.netsim.sim import Simulator
+
+A_ADDR = "10.0.0.1"
+B_ADDR = "10.0.0.2"
+
+
+class Sink(Node):
+    def __init__(self, address):
+        super().__init__(address)
+        self.inbox = []
+
+    def receive(self, message, src):
+        self.inbox.append((self.now, message, src))
+
+
+def q():
+    return Message.query(Name.from_text("x.example."), RRType.A)
+
+
+def make_net(seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    a, b = Sink(A_ADDR), Sink(B_ADDR)
+    net.attach(a)
+    net.attach(b)
+    return sim, net, a, b
+
+
+class TestNodeLifecycle:
+    def test_crash_and_recover_fire_hooks_in_order(self):
+        order = []
+
+        class Host(Sink):
+            def on_crash(self):
+                order.append("on_crash")
+
+            def on_recover(self):
+                order.append("on_recover")
+
+        sim = Simulator()
+        net = Network(sim)
+        host = Host(A_ADDR)
+        net.attach(host)
+        host.crash_hooks.append(lambda: order.append("observer_crash"))
+        host.recover_hooks.append(lambda: order.append("observer_recover"))
+
+        host.crash()
+        assert host.up is False
+        host.recover()
+        assert host.up is True
+        assert order == ["on_crash", "observer_crash", "on_recover", "observer_recover"]
+
+    def test_crash_is_idempotent(self):
+        fired = []
+        sim = Simulator()
+        net = Network(sim)
+        host = Sink(A_ADDR)
+        net.attach(host)
+        host.crash_hooks.append(lambda: fired.append("crash"))
+        host.crash()
+        host.crash()  # already down: no second state loss
+        assert fired == ["crash"]
+        host.recover()
+        host.recover()
+        assert host.up is True
+
+    def test_down_node_receives_nothing(self):
+        sim, net, a, b = make_net()
+        b.crash()
+        a.send(B_ADDR, q())
+        sim.run()
+        assert b.inbox == []
+        assert net.stats.messages_dropped_down == 1
+        b.recover()
+        a.send(B_ADDR, q())
+        sim.run()
+        assert len(b.inbox) == 1
+
+    def test_down_node_sends_nothing(self):
+        sim, net, a, b = make_net()
+        a.crash()
+        a.send(B_ADDR, q())
+        sim.run()
+        assert b.inbox == []
+
+    def test_message_in_flight_when_target_crashes_is_dropped(self):
+        sim, net, a, b = make_net()
+        net.set_link(A_ADDR, B_ADDR, LinkSpec(latency=0.010))
+        a.send(B_ADDR, q())
+        sim.schedule(0.005, b.crash)  # crashes while the message flies
+        sim.run()
+        assert b.inbox == []
+        assert net.stats.messages_dropped_down == 1
+
+
+class TestPartition:
+    def test_cuts_both_directions_only_during_window(self):
+        sim, net, a, b = make_net()
+        injector = FaultInjector(net)
+        injector.add_partition(Partition(a=A_ADDR, b=B_ADDR, start=1.0, end=2.0))
+
+        sim.schedule_at(0.5, a.send, B_ADDR, q())   # before: passes
+        sim.schedule_at(1.5, a.send, B_ADDR, q())   # during: cut
+        sim.schedule_at(1.5, b.send, A_ADDR, q())   # reverse direction: cut
+        sim.schedule_at(2.5, a.send, B_ADDR, q())   # healed: passes
+        sim.run()
+
+        assert len(b.inbox) == 2
+        assert len(a.inbox) == 0
+        assert injector.stats.partition_cuts == 2
+        assert net.stats.messages_cut == 2
+
+    def test_unrelated_traffic_unaffected(self):
+        sim, net, a, b = make_net()
+        c = Sink("10.0.0.3")
+        net.attach(c)
+        injector = FaultInjector(net)
+        injector.add_partition(Partition(a=A_ADDR, b=B_ADDR, start=0.0, end=10.0))
+        a.send("10.0.0.3", q())
+        sim.run()
+        assert len(c.inbox) == 1
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(a=A_ADDR, b=B_ADDR, start=2.0, end=2.0)
+
+
+class TestLinkDegradation:
+    def test_latency_ramps_linearly_to_peak(self):
+        sim, net, a, b = make_net()
+        net.set_link(A_ADDR, B_ADDR, LinkSpec(latency=0.001))
+        injector = FaultInjector(net)
+        injector.add_link_degradation(
+            LinkDegradation(
+                src=A_ADDR, dst=B_ADDR, start=0.0, end=20.0, latency=0.1, ramp=10.0
+            )
+        )
+        sim.schedule_at(5.0, a.send, B_ADDR, q())    # mid-ramp: severity 0.5
+        sim.schedule_at(15.0, a.send, B_ADDR, q())   # held at peak
+        sim.schedule_at(25.0, a.send, B_ADDR, q())   # cleared
+        sim.run()
+        arrivals = [t for t, _, _ in b.inbox]
+        assert arrivals[0] == pytest.approx(5.0 + 0.001 + 0.05)
+        assert arrivals[1] == pytest.approx(15.0 + 0.001 + 0.1)
+        assert arrivals[2] == pytest.approx(25.0 + 0.001)
+        assert injector.stats.degraded_messages == 2
+
+    def test_full_loss_at_peak_drops_everything(self):
+        sim, net, a, b = make_net()
+        injector = FaultInjector(net)
+        injector.add_link_degradation(
+            LinkDegradation(src=A_ADDR, dst=B_ADDR, start=1.0, end=2.0, loss=1.0)
+        )
+        sim.schedule_at(0.5, a.send, B_ADDR, q())
+        sim.schedule_at(1.5, a.send, B_ADDR, q())
+        sim.schedule_at(2.5, a.send, B_ADDR, q())
+        sim.run()
+        assert len(b.inbox) == 2
+        assert net.stats.messages_lost == 1
+
+    def test_unidirectional_leaves_reverse_path_clean(self):
+        sim, net, a, b = make_net()
+        net.set_link(A_ADDR, B_ADDR, LinkSpec(latency=0.001), symmetric=True)
+        injector = FaultInjector(net)
+        injector.add_link_degradation(
+            LinkDegradation(
+                src=A_ADDR,
+                dst=B_ADDR,
+                start=0.0,
+                end=10.0,
+                latency=0.05,
+                bidirectional=False,
+            )
+        )
+        sim.schedule_at(1.0, a.send, B_ADDR, q())
+        sim.schedule_at(1.0, b.send, A_ADDR, q())
+        sim.run()
+        assert b.inbox[0][0] == pytest.approx(1.0 + 0.001 + 0.05)
+        assert a.inbox[0][0] == pytest.approx(1.0 + 0.001)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(src=A_ADDR, dst=B_ADDR, start=5.0, end=1.0)
+
+
+class TestNodeOutage:
+    def test_single_outage_crashes_and_recovers(self):
+        sim, net, a, b = make_net()
+        injector = FaultInjector(net)
+        injector.add_node_outage(NodeOutage(address=B_ADDR, at=1.0, duration=0.5))
+        sim.run()
+        assert injector.stats.crashes == 1
+        assert injector.stats.recoveries == 1
+        assert b.up is True
+        labels = [label for _, label in injector.timeline]
+        assert f"crash {B_ADDR}" in labels
+        assert f"recover {B_ADDR}" in labels
+
+    def test_flapping_repeats_the_cycle(self):
+        sim, net, a, b = make_net()
+        injector = FaultInjector(net)
+        injector.add_node_outage(
+            NodeOutage(address=B_ADDR, at=1.0, duration=0.5, flaps=3, period=2.0)
+        )
+        sim.run()
+        assert injector.stats.crashes == 3
+        assert injector.stats.recoveries == 3
+        assert b.up is True
+
+    def test_jittered_schedule_is_seed_deterministic(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            net = Network(sim)
+            net.attach(Sink(B_ADDR))
+            injector = FaultInjector(net)
+            injector.add_node_outage(
+                NodeOutage(address=B_ADDR, at=2.0, duration=1.0, flaps=4, jitter=0.3)
+            )
+            sim.run()
+            return injector.timeline
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)
+
+    def test_unknown_address_is_a_noop(self):
+        sim, net, a, b = make_net()
+        injector = FaultInjector(net)
+        injector.add_node_outage(NodeOutage(address="10.9.9.9", at=1.0, duration=1.0))
+        sim.run()
+        assert injector.stats.crashes == 0
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            NodeOutage(address=B_ADDR, at=0.0, duration=0.0)
+        with pytest.raises(ValueError):
+            NodeOutage(address=B_ADDR, at=0.0, duration=1.0, flaps=0)
+
+
+class TestInjectorComposition:
+    def test_partition_takes_priority_over_degradation(self):
+        sim, net, a, b = make_net()
+        injector = FaultInjector(net)
+        injector.add_partition(Partition(a=A_ADDR, b=B_ADDR, start=0.0, end=10.0))
+        injector.add_link_degradation(
+            LinkDegradation(src=A_ADDR, dst=B_ADDR, start=0.0, end=10.0, latency=0.05)
+        )
+        a.send(B_ADDR, q())
+        sim.run()
+        assert b.inbox == []
+        assert injector.stats.partition_cuts == 1
+        assert injector.stats.degraded_messages == 0
+
+    def test_render_timeline_sorted_by_time(self):
+        sim, net, a, b = make_net()
+        injector = FaultInjector(net)
+        injector.add_partition(Partition(a=A_ADDR, b=B_ADDR, start=3.0, end=4.0))
+        injector.add_node_outage(NodeOutage(address=B_ADDR, at=1.0, duration=0.5))
+        sim.run()
+        rendered = injector.render_timeline().splitlines()
+        times = [float(line.split("s")[0]) for line in rendered]
+        assert times == sorted(times)

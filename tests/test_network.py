@@ -101,6 +101,28 @@ def test_detach():
     assert net.stats.messages_unroutable == 1
 
 
+def test_detach_clears_backrefs():
+    sim, net, a, b = make_net()
+    net.detach("10.0.0.2")
+    assert b.network is None
+    assert b.sim is None
+    assert net.node("10.0.0.2") is None
+
+
+def test_detached_node_can_reattach():
+    sim, net, a, b = make_net()
+    net.detach("10.0.0.2")
+    other = Network(Simulator(seed=2))
+    other.attach(b)  # stale back-references would make this ambiguous
+    assert b.network is other
+
+
+def test_detach_unknown_address_is_noop():
+    sim, net, a, b = make_net()
+    net.detach("10.9.9.9")
+    assert net.node("10.0.0.1") is a
+
+
 def test_jitter_spreads_arrivals():
     sim = Simulator(seed=3)
     net = Network(sim)

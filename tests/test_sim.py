@@ -124,3 +124,54 @@ def test_pending_counts_queue():
     sim.schedule(1.0, lambda: None)
     sim.schedule(2.0, lambda: None)
     assert sim.pending() == 2
+
+
+def test_pending_excludes_cancelled():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sim.pending() == 1
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.pending() == 1
+
+
+def test_cancel_after_fire_does_not_corrupt_accounting():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.run()
+    event.cancel()  # late cancel of an already-fired event: harmless
+    sim.schedule(1.0, lambda: None)
+    assert sim.pending() == 1
+
+
+def test_heap_compaction_bounds_cancelled_growth():
+    # Lazy cancellation must not let dead entries dominate the heap: a
+    # timer-heavy workload (every message arms a timeout that is almost
+    # always cancelled) would otherwise grow the queue without bound.
+    sim = Simulator()
+    events = [sim.schedule(10.0 + i, lambda: None) for i in range(200)]
+    for event in events[:150]:
+        event.cancel()
+    assert sim.compactions >= 1
+    assert len(sim._heap) < 100  # dead entries reclaimed eagerly
+    assert sim.pending() == 50
+    sim.run()
+    assert sim.events_processed == 50
+
+
+def test_compaction_preserves_firing_order():
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(1.0 + i, fired.append, i) for i in range(128)]
+    for event in events[::2]:
+        event.cancel()
+    sim.run()
+    assert fired == list(range(1, 128, 2))
