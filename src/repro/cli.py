@@ -11,6 +11,7 @@ regenerated without writing Python:
     python -m repro fig11 --quick
     python -m repro table1
     python -m repro chaos --scale 0.25   # fault injection, DCC on/off
+    python -m repro selfcheck            # determinism proof (SimSan on)
     python -m repro all --scale 0.1      # everything, quick settings
 """
 
@@ -51,12 +52,28 @@ def _build_parser() -> argparse.ArgumentParser:
     fig10 = sub.add_parser("fig10", help="overhead vs tracked entities")
     fig10.add_argument("--quick", action="store_true")
     fig10.add_argument("--ops", type=int, default=50_000)
+    fig10.add_argument("--seed", type=int, default=11)
 
     fig11 = sub.add_parser("fig11", help="added processing delay CDFs")
     fig11.add_argument("--quick", action="store_true")
 
     sub.add_parser("table1", help="DCC state vs resolver state")
-    sub.add_parser("ablations", help="design-choice ablations (schedulers, depth)")
+    ablations = sub.add_parser(
+        "ablations", help="design-choice ablations (schedulers, depth)"
+    )
+    ablations.add_argument("--seed", type=int, default=1)
+
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="prove determinism: run a DCC scenario twice under the "
+        "SimSan sanitizer and diff event-trace hashes",
+    )
+    selfcheck.add_argument("--seed", type=int, default=42)
+    selfcheck.add_argument("--scale", type=float, default=0.05,
+                           help="timeline compression (1.0 = 60-second runs)")
+    selfcheck.add_argument("--runs", type=int, default=2)
+    selfcheck.add_argument("--out", type=str, default=None,
+                           help="also write the report to this file")
 
     chaos = sub.add_parser(
         "chaos", help="resilience under infrastructure faults (DCC on/off)"
@@ -93,7 +110,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "fig10":
         from repro.experiments import fig10_overhead
 
-        fig10_overhead.main(ops=args.ops, quick=args.quick)
+        fig10_overhead.main(ops=args.ops, quick=args.quick, seed=args.seed)
     elif args.command == "fig11":
         from repro.experiments import fig11_delay
 
@@ -105,7 +122,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "ablations":
         from repro.experiments import ablations
 
-        ablations.main()
+        ablations.main(seed=args.seed)
+    elif args.command == "selfcheck":
+        from repro.experiments import selfcheck
+
+        return selfcheck.main(
+            seed=args.seed, scale=args.scale, runs=args.runs, out=args.out
+        )
     elif args.command == "chaos":
         from repro.experiments import chaos_resilience
 

@@ -48,9 +48,14 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import sanitize as simsan
 from repro.server.ratelimit import TokenBucket
 from repro.util.ordmap import OrderedMap
 from repro.util.ringbuf import RingBuffer
+
+#: SimSan: run the full O(depth) structural check every Nth operation
+#: (the O(1)/O(sources) checks run on every operation)
+_SAN_FULL_CHECK_EVERY = 256
 
 
 class EnqueueStatus(enum.Enum):
@@ -167,9 +172,15 @@ class MopiFq:
         self,
         config: Optional[MopiFqConfig] = None,
         share_of: Optional[Callable[[str], int]] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.config = config or MopiFqConfig()
         self.share_of = share_of or (lambda source: 1)
+        #: SimSan: verify scheduler invariants after every operation
+        #: (defaults to the REPRO_SIMSAN environment switch)
+        self._san = simsan.ENABLED if sanitize is None else bool(sanitize)
+        self._san_last_round: Dict[str, int] = {}
+        self._san_ops = 0
         # Pre-allocated entry pool with an intrusive free list.
         self._pool = [_QEntry() for _ in range(self.config.pool_capacity)]
         for i in range(self.config.pool_capacity - 1):
@@ -277,6 +288,8 @@ class MopiFq:
         self._note_enqueue(state, source, src_nxt)
         self.total_depth += 1
         self.stats.enqueued += 1
+        if self._san:
+            self._sanitize_op(destination)
         return EnqueueStatus.SUCCESS, evicted
 
     def _src_next_round(self, state: _PoqState, source: str) -> int:
@@ -363,7 +376,10 @@ class MopiFq:
                 state.out_key = new_key
                 self._out_seq[new_key] = destination
                 continue
-            return self._remove_head(destination, state)
+            message = self._remove_head(destination, state)
+            if self._san:
+                self._sanitize_op(destination)
+            return message
         self.stats.dequeue_empty += 1
         return None
 
@@ -462,6 +478,10 @@ class MopiFq:
             self._out_seq.pop(state.out_key, None)
             state.out_key = None
         del self._poq[destination]
+        if self._san:
+            # A later reactivation restarts the round clock at 0; drop
+            # the monotonicity watermark along with the queue state.
+            self._san_last_round.pop(destination, None)
 
     def _drop_poq_if_empty(self, destination: str, state: _PoqState) -> None:
         """Undo the speculative poq creation for a failed first enqueue."""
@@ -524,6 +544,55 @@ class MopiFq:
             depth_sum += state.depth
         assert depth_sum == self.total_depth, "total_depth mismatch"
         assert len(self._out_seq) == len(self._poq), "out_seq size mismatch"
+
+    # ------------------------------------------------------------------
+    # SimSan runtime checks
+    # ------------------------------------------------------------------
+    def _sanitize_op(self, destination: str) -> None:
+        """SimSan (paper Appendix B invariants), run after every
+        enqueue/dequeue when sanitizing:
+
+        - message conservation: enqueued = dequeued + evicted + queued;
+        - active-source accounting consistent with queue occupancy;
+        - per-output scheduling rounds never move backwards while the
+          output stays active;
+        - the full structural :meth:`check_invariants` every
+          ``_SAN_FULL_CHECK_EVERY`` operations.
+        """
+        stats = self.stats
+        queued = stats.enqueued - stats.dequeued - stats.evicted
+        if queued != self.total_depth:
+            simsan.fail(
+                "message conservation broken: enqueued "
+                f"{stats.enqueued} != dequeued {stats.dequeued} + evicted "
+                f"{stats.evicted} + queued {self.total_depth}"
+            )
+        state = self._poq.get(destination)
+        if state is None:
+            self._san_last_round.pop(destination, None)
+        else:
+            occupancy = sum(state.source_count.values())
+            if occupancy != state.depth:
+                simsan.fail(
+                    f"{destination}: active-source accounting ({occupancy} "
+                    f"messages across {len(state.source_count)} sources) "
+                    f"disagrees with queue depth {state.depth}"
+                )
+            last = self._san_last_round.get(destination)
+            if last is not None and state.current_round < last:
+                simsan.fail(
+                    f"{destination}: per-output virtual time moved backwards "
+                    f"(round {last} -> {state.current_round})"
+                )
+            self._san_last_round[destination] = state.current_round
+        self._san_ops += 1
+        if self._san_ops % _SAN_FULL_CHECK_EVERY == 0:
+            try:
+                self.check_invariants()
+            except AssertionError as exc:
+                raise simsan.SimSanViolation(
+                    f"structural invariant violation: {exc}"
+                ) from exc
 
     def state_entry_count(self) -> int:
         """Number of live state entries (Table 1 / Figure 10 accounting):

@@ -18,6 +18,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro import sanitize as simsan
 from repro.dcc.monitor import AnomalyKind
 from repro.server.ratelimit import TokenBucket
 
@@ -123,6 +124,11 @@ class PolicyEngine:
             rate=template.rate,
             reason=reason,
         )
+        if simsan.ENABLED and policy.expires_at < now:
+            simsan.fail(
+                f"policy for {client!r} expires in the past "
+                f"({policy.expires_at!r} < {now!r}); negative duration?"
+            )
         if policy.kind == PolicyKind.RATE_LIMIT:
             policy.bucket = TokenBucket(max(template.rate, 1e-9), max(template.rate, 1.0))
         self._policies[client] = policy

@@ -20,6 +20,7 @@ Substitutions for the Python reproduction (documented in DESIGN.md):
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -47,9 +48,12 @@ class OverheadPoint:
 
 
 def _drive_dcc(n_clients: int, n_servers: int, ops: int, seed: int = 11) -> OverheadPoint:
-    """Run ``ops`` control-loop iterations over the given ID spaces."""
-    import random
+    """Run ``ops`` control-loop iterations over the given ID spaces.
 
+    ``seed`` drives the client/server pick sequence only (a local
+    ``random.Random``, never the process-global RNG -- the same
+    seed-injection convention as ``experiments/common.py``).
+    """
     rng = random.Random(seed)
     scheduler = MopiFq(
         MopiFqConfig(max_poq_depth=100, max_round=75, pool_capacity=100_000,
@@ -135,27 +139,29 @@ def run_server_sweep(
     server_counts: Optional[List[int]] = None,
     clients: int = 1000,
     ops: int = 50_000,
+    seed: int = 11,
 ) -> List[OverheadPoint]:
     """Figure 10(a): fixed 1K clients, varying server counts."""
     counts = server_counts or [10_000, 20_000, 40_000, 60_000, 80_000, 100_000]
-    return [_drive_dcc(clients, n, ops) for n in counts]
+    return [_drive_dcc(clients, n, ops, seed=seed) for n in counts]
 
 
 def run_client_sweep(
     client_counts: Optional[List[int]] = None,
     servers: int = 1000,
     ops: int = 50_000,
+    seed: int = 11,
 ) -> List[OverheadPoint]:
     """Figure 10(b): fixed 1K servers, varying client counts."""
     counts = client_counts or [10_000, 20_000, 40_000, 60_000, 80_000, 100_000]
-    return [_drive_dcc(n, servers, ops) for n in counts]
+    return [_drive_dcc(n, servers, ops, seed=seed) for n in counts]
 
 
-def main(ops: int = 50_000, quick: bool = False) -> None:
+def main(ops: int = 50_000, quick: bool = False, seed: int = 11) -> None:
     counts = [10_000, 40_000, 100_000] if quick else None
     print("=== Figure 10(a): fixed 1K clients, varying servers ===")
     rows = []
-    for p in run_server_sweep(counts, ops=ops):
+    for p in run_server_sweep(counts, ops=ops, seed=seed):
         rows.append([
             f"{p.servers:,}",
             f"{p.dcc_ops_per_sec:,.0f}",
@@ -168,7 +174,7 @@ def main(ops: int = 50_000, quick: bool = False) -> None:
 
     print("\n=== Figure 10(b): fixed 1K servers, varying clients ===")
     rows = []
-    for p in run_client_sweep(counts, ops=ops):
+    for p in run_client_sweep(counts, ops=ops, seed=seed):
         rows.append([
             f"{p.clients:,}",
             f"{p.dcc_ops_per_sec:,.0f}",

@@ -1,0 +1,101 @@
+"""Determinism self-check: run one scenario twice, diff the event traces.
+
+The whole evaluation depends on the simulator being a deterministic
+function of its seed (ROADMAP tier-1 assumption; paper Section 5 reports
+seed-averaged results).  This driver proves the property end-to-end on a
+DCC-enabled attack scenario:
+
+1. build the Table 2 NX scenario (attack traffic, anomaly monitoring,
+   policing, MOPI-FQ, signaling all active -- the widest code surface);
+2. run it to completion with a :class:`~repro.netsim.trace.MessageTrace`
+   attached and SimSan enabled (so every run also passes the runtime
+   invariant sanitizer);
+3. hash every delivered message (time, endpoints, question, rcode,
+   size) plus the event count into a SHA-256 digest;
+4. repeat from scratch and compare digests.
+
+Any wall-clock read, unseeded RNG draw, or hash-order-dependent
+iteration sneaking into the simulation path shows up as a digest
+mismatch here long before it would corrupt a figure.
+
+CLI: ``repro-experiments selfcheck [--seed N] [--scale S] [--runs K]``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+from repro import sanitize
+from repro.experiments.common import AttackScenario, ScenarioConfig
+from repro.netsim.trace import MessageTrace
+from repro.workloads.schedule import table2_clients
+
+
+def trace_digest(seed: int = 42, scale: float = 0.05) -> str:
+    """SHA-256 over the full delivered-message trace of one fresh run."""
+    specs = table2_clients("nxdomain", time_scale=scale)
+    config = ScenarioConfig(
+        seed=seed,
+        duration=60.0 * scale,
+        channel_capacity=1000.0,
+        use_dcc=True,
+        ff_instances=20,
+    )
+    scenario = AttackScenario(config)
+    trace = MessageTrace(scenario.net, max_records=1_000_000)
+    scenario.add_clients(specs)
+    result = scenario.run()
+
+    digest = hashlib.sha256()
+    for record in trace.records:
+        digest.update(
+            (
+                f"{record.time:.9f}|{record.src}|{record.dst}|{record.question}|"
+                f"{int(record.is_response)}|{record.rcode}|{record.wire_bytes}\n"
+            ).encode("utf-8")
+        )
+    digest.update(f"events={result.events_processed}\n".encode("utf-8"))
+    digest.update(f"messages={len(trace.records)}\n".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def run_selfcheck(
+    seed: int = 42, scale: float = 0.05, runs: int = 2
+) -> List[str]:
+    """``runs`` independent trace digests, each computed with SimSan on."""
+    previous = sanitize.ENABLED
+    sanitize.enable()
+    try:
+        return [trace_digest(seed=seed, scale=scale) for _ in range(runs)]
+    finally:
+        sanitize.ENABLED = previous
+
+
+def main(
+    seed: int = 42, scale: float = 0.05, runs: int = 2, out: Optional[str] = None
+) -> int:
+    """Print per-run digests; exit 0 iff all runs hashed identically."""
+    digests = run_selfcheck(seed=seed, scale=scale, runs=runs)
+    lines = [f"=== Determinism self-check (seed={seed}, scale={scale}) ==="]
+    for i, digest in enumerate(digests, start=1):
+        lines.append(f"run {i}: {digest}")
+    identical = len(set(digests)) == 1
+    lines.append(
+        "event-trace hashes identical across "
+        f"{runs} runs -- simulation is deterministic"
+        if identical
+        else "EVENT-TRACE HASH MISMATCH -- simulation is NOT deterministic"
+    )
+    report = "\n".join(lines)
+    print(report)
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

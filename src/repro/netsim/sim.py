@@ -11,7 +11,9 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import sanitize as simsan
 
 
 class Event:
@@ -59,7 +61,7 @@ class Simulator:
     #: (tiny heaps are cheaper to drain than to rebuild)
     COMPACT_MIN_SIZE = 64
 
-    def __init__(self, seed: int = 42) -> None:
+    def __init__(self, seed: int = 42, sanitize: Optional[bool] = None) -> None:
         self._now = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
@@ -69,6 +71,9 @@ class Simulator:
         #: cancelled events still sitting in the heap (lazy cancellation)
         self._cancelled = 0
         self.compactions = 0
+        #: SimSan: check heap monotonicity and compaction soundness at
+        #: runtime (defaults to the REPRO_SIMSAN environment switch)
+        self.sanitize = simsan.ENABLED if sanitize is None else bool(sanitize)
 
     # ------------------------------------------------------------------
     # time and randomness
@@ -122,10 +127,24 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        self._heap = [event for event in self._heap if not event.cancelled]
-        heapq.heapify(self._heap)
+        live = [event for event in self._heap if not event.cancelled]
+        before = sorted((e.time, e.seq) for e in live) if self.sanitize else None
+        self._heap = self._rebuild_heap(live)
+        if before is not None:
+            after = sorted((e.time, e.seq) for e in self._heap)
+            if before != after:
+                simsan.fail(
+                    "heap compaction changed the live-event multiset "
+                    f"({len(before)} events before, {len(after)} after)"
+                )
         self._cancelled = 0
         self.compactions += 1
+
+    def _rebuild_heap(self, live: List[Event]) -> List[Event]:
+        """Heapify the surviving events (split out so SimSan can verify
+        the live-event multiset across any alternative implementation)."""
+        heapq.heapify(live)
+        return live
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn`` at the current instant, after already-queued
@@ -152,6 +171,10 @@ class Simulator:
             if event.cancelled:
                 self._cancelled -= 1
                 continue
+            if self.sanitize and event.time < self._now:
+                simsan.fail(
+                    f"event dequeued in the past: t={event.time!r} < now={self._now!r} ({event!r})"
+                )
             self._now = event.time
             event.fn(*event.args)
             processed += 1
@@ -169,6 +192,10 @@ class Simulator:
             if event.cancelled:
                 self._cancelled -= 1
                 continue
+            if self.sanitize and event.time < self._now:
+                simsan.fail(
+                    f"event dequeued in the past: t={event.time!r} < now={self._now!r} ({event!r})"
+                )
             self._now = event.time
             event.fn(*event.args)
             self.events_processed += 1

@@ -17,6 +17,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro import sanitize as simsan
 
 #: Slack absorbing float rounding in refill arithmetic.  Without it, a
 #: deficit of ~1e-16 tokens yields a "next available" time that rounds
@@ -48,6 +49,17 @@ class TokenBucket:
         if now > self._stamp:
             self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
             self._stamp = now
+        if simsan.ENABLED:
+            self._sanitize()
+
+    def _sanitize(self) -> None:
+        """SimSan: the token count must stay within [0, burst]."""
+        if self._tokens < -_EPSILON:
+            simsan.fail(f"token bucket went negative: {self._tokens!r} (rate={self.rate})")
+        if self._tokens > self.burst + _EPSILON:
+            simsan.fail(
+                f"token bucket overfilled: {self._tokens!r} > burst {self.burst!r}"
+            )
 
     def tokens(self, now: float) -> float:
         self._refill(now)
@@ -61,6 +73,8 @@ class TokenBucket:
         self._refill(now)
         if self._tokens >= amount - _EPSILON:
             self._tokens = max(0.0, self._tokens - amount)
+            if simsan.ENABLED:
+                self._sanitize()
             return True
         return False
 
@@ -146,6 +160,8 @@ class WindowedCounter:
         self._roll(now)
         if self._count + amount <= self.rate * self.window + _EPSILON:
             self._count += amount
+            if simsan.ENABLED and self._count < -_EPSILON:
+                simsan.fail(f"window counter went negative: {self._count!r}")
             return True
         return False
 

@@ -264,10 +264,10 @@ class ResolutionTask:
             query.id,
             retries_left=self.resolver.config.max_retries,
         )
+        pending.sent_at = self.resolver.now
         pending.timer = self.resolver.sim.schedule(
             self.resolver.config.query_timeout, self._on_timeout, pending
         )
-        pending.sent_at = self.resolver.now
         self._pending = pending
         self.resolver.register_query(query.id, self)
         self.resolver.transmit_query(query, server)

@@ -23,30 +23,40 @@ arrival timestamp) should key on a ``(time, tiebreak)`` tuple.
 from __future__ import annotations
 
 import random
-from typing import Any, Iterator, Optional, Tuple
+from typing import Any, Generic, Iterator, List, Optional, Protocol, Tuple, TypeVar
 
 
-class _Node:
+class _SupportsLT(Protocol):
+    """Anything usable as a treap key: totally ordered via ``<``."""
+
+    def __lt__(self, other: Any, /) -> bool: ...
+
+
+K = TypeVar("K", bound=_SupportsLT)
+V = TypeVar("V")
+
+
+class _Node(Generic[K, V]):
     __slots__ = ("key", "value", "prio", "left", "right", "size")
 
-    def __init__(self, key: Any, value: Any, prio: float) -> None:
+    def __init__(self, key: K, value: V, prio: float) -> None:
         self.key = key
         self.value = value
         self.prio = prio
-        self.left: Optional[_Node] = None
-        self.right: Optional[_Node] = None
+        self.left: Optional[_Node[K, V]] = None
+        self.right: Optional[_Node[K, V]] = None
         self.size = 1
 
 
-def _size(node: Optional[_Node]) -> int:
+def _size(node: Optional[_Node[K, V]]) -> int:
     return node.size if node is not None else 0
 
 
-def _pull(node: _Node) -> None:
+def _pull(node: _Node[K, V]) -> None:
     node.size = 1 + _size(node.left) + _size(node.right)
 
 
-def _merge(a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+def _merge(a: Optional[_Node[K, V]], b: Optional[_Node[K, V]]) -> Optional[_Node[K, V]]:
     """Merge two treaps where every key in ``a`` < every key in ``b``."""
     if a is None:
         return b
@@ -61,7 +71,9 @@ def _merge(a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
     return b
 
 
-def _split(node: Optional[_Node], key: Any) -> Tuple[Optional[_Node], Optional[_Node]]:
+def _split(
+    node: Optional[_Node[K, V]], key: K
+) -> Tuple[Optional[_Node[K, V]], Optional[_Node[K, V]]]:
     """Split into (keys < key, keys >= key)."""
     if node is None:
         return None, None
@@ -76,7 +88,7 @@ def _split(node: Optional[_Node], key: Any) -> Tuple[Optional[_Node], Optional[_
     return left, node
 
 
-class OrderedMap:
+class OrderedMap(Generic[K, V]):
     """Ordered key -> value map with O(log n) operations.
 
     >>> om = OrderedMap()
@@ -89,7 +101,7 @@ class OrderedMap:
     """
 
     def __init__(self, seed: int = 0x5EED) -> None:
-        self._root: Optional[_Node] = None
+        self._root: Optional[_Node[K, V]] = None
         self._rng = random.Random(seed)
 
     # ------------------------------------------------------------------
@@ -101,20 +113,20 @@ class OrderedMap:
     def __bool__(self) -> bool:
         return self._root is not None
 
-    def __contains__(self, key: Any) -> bool:
+    def __contains__(self, key: K) -> bool:
         return self._find(key) is not None
 
-    def __getitem__(self, key: Any) -> Any:
+    def __getitem__(self, key: K) -> V:
         node = self._find(key)
         if node is None:
             raise KeyError(key)
         return node.value
 
-    def get(self, key: Any, default: Any = None) -> Any:
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
         node = self._find(key)
         return node.value if node is not None else default
 
-    def __setitem__(self, key: Any, value: Any) -> None:
+    def __setitem__(self, key: K, value: V) -> None:
         """Insert ``key``; if it already exists, replace its value."""
         node = self._find(key)
         if node is not None:
@@ -124,12 +136,12 @@ class OrderedMap:
         fresh = _Node(key, value, self._rng.random())
         self._root = _merge(_merge(left, fresh), right)
 
-    def __delitem__(self, key: Any) -> None:
+    def __delitem__(self, key: K) -> None:
         self._root, removed = self._remove(self._root, key)
         if not removed:
             raise KeyError(key)
 
-    def pop(self, key: Any, *default: Any) -> Any:
+    def pop(self, key: K, *default: V) -> V:
         node = self._find(key)
         if node is None:
             if default:
@@ -145,7 +157,7 @@ class OrderedMap:
     # ------------------------------------------------------------------
     # ordered queries
     # ------------------------------------------------------------------
-    def min_item(self) -> Tuple[Any, Any]:
+    def min_item(self) -> Tuple[K, V]:
         """Return ``(key, value)`` with the smallest key."""
         node = self._root
         if node is None:
@@ -154,7 +166,7 @@ class OrderedMap:
             node = node.left
         return node.key, node.value
 
-    def max_item(self) -> Tuple[Any, Any]:
+    def max_item(self) -> Tuple[K, V]:
         """Return ``(key, value)`` with the largest key."""
         node = self._root
         if node is None:
@@ -163,15 +175,16 @@ class OrderedMap:
             node = node.right
         return node.key, node.value
 
-    def pop_min(self) -> Tuple[Any, Any]:
+    def pop_min(self) -> Tuple[K, V]:
         """Remove and return the smallest ``(key, value)``."""
         key, value = self.min_item()
         del self[key]
         return key, value
 
-    def succ(self, key: Any) -> Optional[Tuple[Any, Any]]:
+    def succ(self, key: K) -> Optional[Tuple[K, V]]:
         """Smallest item with key strictly greater than ``key``."""
-        node, best = self._root, None
+        node = self._root
+        best: Optional[_Node[K, V]] = None
         while node is not None:
             if key < node.key:
                 best = node
@@ -180,17 +193,17 @@ class OrderedMap:
                 node = node.right
         return (best.key, best.value) if best is not None else None
 
-    def __iter__(self) -> Iterator[Any]:
+    def __iter__(self) -> Iterator[K]:
         yield from (k for k, _ in self.items())
 
-    def items(self) -> Iterator[Tuple[Any, Any]]:
+    def items(self) -> Iterator[Tuple[K, V]]:
         """Iterate ``(key, value)`` pairs in ascending key order.
 
         Iterative traversal: treaps built from adversarially ordered keys
         stay shallow in expectation, but an explicit stack avoids any
         recursion-depth concern on large maps.
         """
-        stack = []
+        stack: List[_Node[K, V]] = []
         node = self._root
         while stack or node is not None:
             while node is not None:
@@ -200,16 +213,16 @@ class OrderedMap:
             yield node.key, node.value
             node = node.right
 
-    def keys(self) -> Iterator[Any]:
+    def keys(self) -> Iterator[K]:
         return iter(self)
 
-    def values(self) -> Iterator[Any]:
+    def values(self) -> Iterator[V]:
         yield from (v for _, v in self.items())
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _find(self, key: Any) -> Optional[_Node]:
+    def _find(self, key: K) -> Optional[_Node[K, V]]:
         node = self._root
         while node is not None:
             if key < node.key:
@@ -220,7 +233,9 @@ class OrderedMap:
                 return node
         return None
 
-    def _remove(self, node: Optional[_Node], key: Any) -> Tuple[Optional[_Node], bool]:
+    def _remove(
+        self, node: Optional[_Node[K, V]], key: K
+    ) -> Tuple[Optional[_Node[K, V]], bool]:
         if node is None:
             return None, False
         if key < node.key:

@@ -14,10 +14,12 @@ are valid; the scheduler owns that via ``current_round`` /
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
 
 
-class RingBuffer:
+class RingBuffer(Generic[T]):
     """A fixed-capacity buffer addressed by absolute (monotone) indices.
 
     >>> rb = RingBuffer(4)
@@ -34,17 +36,17 @@ class RingBuffer:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._capacity = capacity
-        self._slots: List[Optional[Any]] = [None] * capacity
+        self._slots: List[Optional[T]] = [None] * capacity
 
     @property
     def capacity(self) -> int:
         return self._capacity
 
-    def get(self, index: int) -> Optional[Any]:
+    def get(self, index: int) -> Optional[T]:
         """Value stored for absolute index ``index`` (``None`` if empty)."""
         return self._slots[index % self._capacity]
 
-    def set(self, index: int, value: Any) -> None:
+    def set(self, index: int, value: T) -> None:
         self._slots[index % self._capacity] = value
 
     def clear_at(self, index: int) -> None:
@@ -57,6 +59,9 @@ class RingBuffer:
     def occupied(self) -> int:
         """Number of non-empty slots (diagnostics only)."""
         return sum(1 for slot in self._slots if slot is not None)
+
+    def __len__(self) -> int:
+        return self._capacity
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RingBuffer(capacity={self._capacity}, occupied={self.occupied()})"

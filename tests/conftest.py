@@ -1,10 +1,12 @@
 """Shared fixtures: small DNS topologies for server-level tests."""
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 import pytest
 
+from repro import sanitize
 from repro.dnscore.message import Message
 from repro.dnscore.name import Name
 from repro.dnscore.rdata import RRType
@@ -109,3 +111,27 @@ def build_topology(
 @pytest.fixture
 def topology():
     return build_topology()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _simsan_from_env() -> Iterator[None]:
+    """Honour ``REPRO_SIMSAN=1`` for the whole test session.
+
+    The flag is read again here (not just at import) so a test runner
+    that mutates ``os.environ`` in its own conftest still gets the
+    sanitizer, and so the suite reports the mode once per session.
+    """
+    if sanitize._truthy(os.environ.get("REPRO_SIMSAN", "")):
+        sanitize.enable()
+    yield
+
+
+@pytest.fixture
+def simsan() -> Iterator[None]:
+    """Force the SimSan runtime sanitizer on for one test, then restore."""
+    previous = sanitize.ENABLED
+    sanitize.enable()
+    try:
+        yield
+    finally:
+        sanitize.ENABLED = previous

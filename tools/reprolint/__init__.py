@@ -1,0 +1,161 @@
+"""reprolint: repo-specific simulation-purity static analysis.
+
+Usage::
+
+    python -m tools.reprolint src/ [--format=json] [--baseline FILE]
+
+The rule set lives in :mod:`tools.reprolint.rules`; this module adds the
+file walker, per-line suppression comments, and the baseline mechanism
+for grandfathered findings.
+
+Suppression: append ``# reprolint: disable=R1`` (comma-separate several
+rules, or ``disable=all``) to the offending line, ideally with a reason::
+
+    entry.payload = None  # reprolint: disable=R2 -- recycling, not in flight
+
+Baseline: findings whose fingerprint (path + rule + source text, line
+numbers excluded so unrelated edits don't invalidate it) appears in the
+baseline file are reported only with ``--no-baseline``.  Regenerate with
+``--write-baseline`` after an intentional grandfathering decision.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from tools.reprolint.rules import RULES, Finding, check_source
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "check_source",
+    "lint_source",
+    "lint_paths",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "DEFAULT_BASELINE",
+]
+
+#: the checked-in baseline of grandfathered findings
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def _suppressed_rules(line_text: str) -> frozenset:
+    match = _SUPPRESS_RE.search(line_text)
+    if match is None:
+        return frozenset()
+    return frozenset(token.strip() for token in match.group(1).split(",") if token.strip())
+
+
+def lint_source(source: str, posix_path: str) -> List[Finding]:
+    """Findings for one in-memory file, per-line suppressions applied."""
+    lines = source.splitlines()
+    kept: List[Finding] = []
+    for finding in check_source(source, posix_path):
+        line_text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+        suppressed = _suppressed_rules(line_text)
+        if finding.rule in suppressed or "all" in suppressed:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d != "__pycache__" and not d.endswith(".egg-info")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """Findings for every ``.py`` under ``paths``, suppressions applied."""
+    findings: List[Finding] = []
+    for filepath in _iter_python_files(paths):
+        with open(filepath, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        posix_path = filepath.replace(os.sep, "/")
+        findings.extend(lint_source(source, posix_path))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+
+def fingerprint(finding: Finding) -> str:
+    """Stable id for a finding: path + rule + source text, no line number."""
+    blob = f"{finding.path}::{finding.rule}::{finding.line_text.strip()}"
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Optional[str]) -> frozenset:
+    if path is None or not os.path.exists(path):
+        return frozenset()
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return frozenset(entry["fingerprint"] for entry in data.get("findings", []))
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    payload = {
+        "comment": "Grandfathered reprolint findings; regenerate with --write-baseline.",
+        "findings": [
+            {
+                "fingerprint": fingerprint(f),
+                "path": f.path,
+                "rule": f.rule,
+                "text": f.line_text.strip(),
+            }
+            for f in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: frozenset
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (new, grandfathered)."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        (old if fingerprint(finding) in baseline else new).append(finding)
+    return new, old
+
+
+def to_json(findings: Sequence[Finding], grandfathered: int = 0) -> str:
+    payload: Dict[str, object] = {
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col + 1,
+                "rule": f.rule,
+                "message": f.message,
+                "fingerprint": fingerprint(f),
+            }
+            for f in findings
+        ],
+        "count": len(findings),
+        "grandfathered": grandfathered,
+        "rules": RULES,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,64 @@
+"""CLI for reprolint: ``python -m tools.reprolint src/``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from tools.reprolint import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    lint_paths,
+    split_by_baseline,
+    to_json,
+    write_baseline,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Simulation-purity static analysis for the repro codebase.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument("--format", choices=("human", "json"), default="human")
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help="baseline file of grandfathered findings (default: the checked-in one)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report grandfathered findings too",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    findings = lint_paths(args.paths)
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    baseline = frozenset() if args.no_baseline else load_baseline(args.baseline)
+    new, grandfathered = split_by_baseline(findings, baseline)
+
+    if args.format == "json":
+        print(to_json(new, grandfathered=len(grandfathered)))
+    else:
+        for finding in new:
+            print(finding.render())
+        suffix = f" ({len(grandfathered)} grandfathered)" if grandfathered else ""
+        print(f"reprolint: {len(new)} finding(s){suffix}")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
