@@ -7,7 +7,24 @@ in a terminal (and in EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+#: resilience-layer counters a stats block may carry (ResolverStats has
+#: all of them, ForwarderStats the health/stale subset); reports pick up
+#: whichever are present
+RESILIENCE_COUNTERS = (
+    "shed_requests",
+    "shed_suspected",
+    "stale_fastpath_responses",
+    "stale_responses",
+    "deadline_exhausted",
+    "breaker_opens",
+    "breaker_half_opens",
+    "breaker_closes",
+    "probe_failures",
+    "karn_rejections",
+    "server_backoffs",
+)
 
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -23,6 +40,35 @@ def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
     lines = [fmt(headers), "  ".join("-" * w for w in widths)]
     lines.extend(fmt(row) for row in materialized)
     return "\n".join(lines)
+
+
+def resilience_counters(stats: object) -> Dict[str, int]:
+    """The resilience-layer counters present on a stats block, in
+    :data:`RESILIENCE_COUNTERS` order."""
+    return {
+        name: getattr(stats, name)
+        for name in RESILIENCE_COUNTERS
+        if hasattr(stats, name)
+    }
+
+
+def render_resilience_table(labeled_stats: Mapping[str, object]) -> str:
+    """One row of resilience counters per labelled stats block.
+
+    Columns are the union of counters present across the blocks, so a
+    mixed resolver/forwarder report stays rectangular.
+    """
+    extracted = {label: resilience_counters(stats) for label, stats in labeled_stats.items()}
+    columns = [
+        name
+        for name in RESILIENCE_COUNTERS
+        if any(name in counters for counters in extracted.values())
+    ]
+    rows = [
+        [label] + [counters.get(name, "-") for name in columns]
+        for label, counters in extracted.items()
+    ]
+    return render_table([""] + columns, rows)
 
 
 def format_series(label: str, values: Sequence[float], every: int = 5, precision: int = 0) -> str:

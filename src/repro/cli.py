@@ -11,6 +11,7 @@ regenerated without writing Python:
     python -m repro fig11 --quick
     python -m repro table1
     python -m repro chaos --scale 0.25   # fault injection, DCC on/off
+    python -m repro resilience --scale 0.25  # vanilla vs hardened resolver
     python -m repro selfcheck            # determinism proof (SimSan on)
     python -m repro all --scale 0.1      # everything, quick settings
 """
@@ -83,6 +84,16 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", type=str, default=None,
                        help="also write the report to this file")
 
+    resilience = sub.add_parser(
+        "resilience",
+        help="resilience matrix: vanilla vs hardened resolver under a "
+        "total authoritative outage + NX flood",
+    )
+    resilience.add_argument("--scale", type=float, default=0.25)
+    resilience.add_argument("--seed", type=int, default=42)
+    resilience.add_argument("--out", type=str, default=None,
+                            help="also write the report to this file")
+
     everything = sub.add_parser("all", help="run every experiment (quick settings)")
     everything.add_argument("--scale", type=float, default=0.1)
     return parser
@@ -133,6 +144,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments import chaos_resilience
 
         chaos_resilience.main(scale=args.scale, seed=args.seed, out=args.out)
+    elif args.command == "resilience":
+        from repro.experiments import resilience_matrix
+
+        return resilience_matrix.main(scale=args.scale, seed=args.seed, out=args.out)
     elif args.command == "all":
         from repro.experiments import (
             chaos_resilience,
@@ -142,6 +157,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             fig9_signaling,
             fig10_overhead,
             fig11_delay,
+            resilience_matrix,
             table1_state,
         )
 
@@ -153,6 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         fig11_delay.main(quick=True)
         table1_state.main()
         chaos_resilience.main(scale=max(args.scale, 0.15))
+        resilience_matrix.main(scale=max(args.scale, 0.1))
     return 0
 
 

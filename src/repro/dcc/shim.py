@@ -135,6 +135,10 @@ class DccShim:
         resolver.egress_query_hook = self._on_egress_query
         resolver.ingress_answer_hook = self._on_ingress_answer
         resolver.egress_response_hook = self._on_egress_response
+        # Overload shedding consults DCC's verdicts: a saturated host
+        # sheds suspected/convicted clients before benign ones.
+        if hasattr(resolver, "suspicion_probe"):
+            resolver.suspicion_probe = self.shed_priority
         # DCC runs on the resolver host: it dies and restarts with it.
         # (Hosts without the Node lifecycle surface simply never crash.)
         if hasattr(resolver, "crash_hooks"):
@@ -188,6 +192,17 @@ class DccShim:
     @property
     def now(self) -> float:
         return self.resolver.now
+
+    def shed_priority(self, client: str) -> int:
+        """Suspicion rank for the host's overload controller: clients
+        the monitor holds in suspicion (1) or conviction (2) are shed
+        first when the front end saturates; normal clients rank 0."""
+        verdict = self.monitor.verdict(client)
+        if verdict == ClientVerdict.CONVICTED:
+            return 2
+        if verdict == ClientVerdict.SUSPICIOUS:
+            return 1
+        return 0
 
     def _ensure_ticking(self) -> None:
         if self._ticking:

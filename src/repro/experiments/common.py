@@ -20,7 +20,7 @@ ratios (the Figure 4 metric).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from repro.dcc.monitor import MonitorConfig
@@ -123,6 +123,13 @@ class ScenarioConfig:
     share_of: Optional[Callable[[str], int]] = None
     #: wildcard answer TTLs (1 s: cache-bypassing, as in the attacks)
     answer_ttl: int = 1
+    #: full resolver configuration override (hardened-resolver cells of
+    #: the resilience matrix); None keeps the vanilla defaults with only
+    #: ``qname_minimization`` applied
+    resolver_config: Optional[ResolverConfig] = None
+    #: name-pool size for the "WC_POOL" client pattern (names repeat, so
+    #: the traffic is cache-hittable -- and serve-stale-able)
+    wc_pool_size: int = 512
 
 
 @dataclass
@@ -217,10 +224,13 @@ class AttackScenario:
         # Recursive resolvers.
         self.resolvers: List[RecursiveResolver] = []
         for i in range(cfg.resolver_count):
-            resolver = RecursiveResolver(
-                f"10.0.1.{i + 1}",
-                ResolverConfig(qname_minimization=cfg.qname_minimization),
-            )
+            if cfg.resolver_config is not None:
+                # Fresh copy per resolver: the rr-channel branch below
+                # mutates resolver.config in place.
+                resolver_cfg = replace(cfg.resolver_config)
+            else:
+                resolver_cfg = ResolverConfig(qname_minimization=cfg.qname_minimization)
+            resolver = RecursiveResolver(f"10.0.1.{i + 1}", resolver_cfg)
             resolver.add_root_hint("a.root-servers.net.", ROOT_ADDR)
             resolver.egress_tap = self._make_tap()
             self.net.attach(resolver)
@@ -368,6 +378,8 @@ class AttackScenario:
     def _pattern_for(self, spec: ClientSpec) -> QueryPattern:
         if spec.pattern == "WC":
             return WildcardPattern(TARGET_ORIGIN)
+        if spec.pattern == "WC_POOL":
+            return WildcardPattern(TARGET_ORIGIN, pool_size=self.config.wc_pool_size)
         if spec.pattern == "NX":
             return NxdomainPattern(TARGET_ORIGIN)
         if spec.pattern == "FF":

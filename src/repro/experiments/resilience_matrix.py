@@ -1,0 +1,349 @@
+"""Resilience matrix: vanilla vs hardened resolver under outage + flood.
+
+The tentpole question for the resilience layer (``server/health.py`` +
+``server/overload.py``): when the *entire* authoritative backend of a
+popular zone goes dark mid-NXDOMAIN-flood, how much benign service does
+each resolver configuration retain?  The scenario combines the two
+stressors the layer was built for:
+
+- an **authoritative outage**: every target nameserver crashes for a
+  window in the middle of the run (``netsim.faults.NodeOutage``), so
+  fresh resolution of the benign names is impossible;
+- an **NXDOMAIN flood**: the Table 2 NX abuser runs throughout,
+  pressuring the resolver front end and the inter-server channel.
+
+Benign clients query a bounded name pool ("WC_POOL"), the realistic
+popular-names regime where caches -- and RFC 8767 serve-stale -- help.
+
+The matrix cells:
+
+- ``vanilla`` -- the seed resolver exactly: fixed 0.8 s timeout, EWMA
+  SRTT, blind hold-down, unbounded pending table, no stale answers;
+- ``hardened`` -- adaptive RTO (RFC 6298) + three-state circuit
+  breakers + watermark admission control + per-request deadlines +
+  serve-stale (pre-resolution fast path while breakers are open);
+- ``hardened+dcc`` -- the hardened resolver with the DCC shim on top,
+  so admission control sheds *suspected* clients first (the monitor
+  convicts the NX abuser) instead of shedding blindly.
+
+Reported per cell: benign availability (overall and inside the fault
+window), benign goodput before/during/after the outage, attacker
+goodput during the outage, recovery time, and the resilience counters
+(breaker transitions, stale answers, sheds, deadline expiries).
+
+CLI: ``python -m repro resilience [--scale S] [--seed N] [--out F]``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.report import (
+    render_resilience_table,
+    render_table,
+    resilience_counters,
+    sparkline,
+)
+from repro.experiments.chaos_resilience import (
+    BENIGN_CLIENTS,
+    benign_goodput_series,
+    recovery_time,
+)
+from repro.experiments.common import AttackScenario, ScenarioConfig, ScenarioResult
+from repro.experiments.fig8_resilience import (
+    paper_monitor_config,
+    paper_policy_templates,
+)
+from repro.netsim.faults import NodeOutage
+from repro.netsim.trace import MessageTrace
+from repro.server.health import HealthConfig
+from repro.server.overload import OverloadConfig, ShedPolicy
+from repro.server.resolver import ResolverConfig
+from repro.workloads.schedule import ClientSpec
+
+CELLS = ("vanilla", "hardened", "hardened+dcc")
+
+#: outage window in unscaled (paper-timeline) seconds
+OUTAGE_START = 25.0
+OUTAGE_END = 40.0
+#: the NX flood starts here; the pre-fault goodput window starts later
+#: to skip the attack-onset transient
+ATTACK_START = 5.0
+BASELINE_FROM = 10.0
+
+
+def hardened_resolver_config() -> ResolverConfig:
+    """The hardened cell: every mechanism of the resilience layer on.
+
+    Time constants are *unscaled*: they are tied to RTTs and client
+    patience (2 s request timeout), which the experiment drivers never
+    scale -- only the fault schedule and run length compress.
+    """
+    return ResolverConfig(
+        serve_stale_window=30.0,
+        health=HealthConfig(
+            mode="adaptive",
+            base_timeout=0.8,
+            failure_threshold=3,
+            rto_min=0.1,
+            # No point arming timers past the clients' own 2 s patience.
+            rto_max=2.0,
+            backoff_base=0.5,
+            backoff_cap=3.0,
+        ),
+        overload=OverloadConfig(
+            # Low enough that the outage's onset transient (before the
+            # breakers trip) actually engages shedding.
+            high_watermark=256,
+            low_watermark=128,
+            shed_policy=ShedPolicy.SERVFAIL,
+            serve_stale=True,
+            request_deadline=1.8,
+        ),
+    )
+
+
+def matrix_clients(time_scale: float = 1.0) -> List[ClientSpec]:
+    """Table 2 rates; benign clients span the whole run and draw from a
+    bounded name pool so their names are cacheable (and stale-servable)."""
+    specs = [
+        ClientSpec("heavy", 0.0, 60.0, 600.0, "WC_POOL"),
+        ClientSpec("medium", 0.0, 60.0, 350.0, "WC_POOL"),
+        ClientSpec("light", 0.0, 60.0, 150.0, "WC_POOL"),
+        ClientSpec("attacker", ATTACK_START, 60.0, 1100.0, "NX", is_attacker=True),
+    ]
+    return [spec.scaled(time_scale) for spec in specs]
+
+
+def cell_scenario_config(cell: str, scale: float, seed: int) -> ScenarioConfig:
+    if cell not in CELLS:
+        raise ValueError(f"unknown matrix cell {cell!r} (want one of {CELLS})")
+    use_dcc = cell == "hardened+dcc"
+    return ScenarioConfig(
+        seed=seed,
+        duration=60.0 * scale,
+        channel_capacity=1000.0,
+        use_dcc=use_dcc,
+        monitor=paper_monitor_config(time_scale=scale),
+        policy_templates=paper_policy_templates(time_scale=scale),
+        target_ans_count=2,
+        resolver_config=None if cell == "vanilla" else hardened_resolver_config(),
+    )
+
+
+def build_cell(cell: str, scale: float, seed: int) -> AttackScenario:
+    """One matrix cell, built and fault-scheduled but not yet run."""
+    scenario = AttackScenario(cell_scenario_config(cell, scale, seed))
+    scenario.add_clients(matrix_clients(time_scale=scale))
+    start = OUTAGE_START * scale
+    window = (OUTAGE_END - OUTAGE_START) * scale
+    # Total authoritative outage: *every* target server goes dark, so
+    # during the window there is no fresh path to the benign names.
+    for addr in scenario.target_ans_addrs:
+        scenario.injector.add_node_outage(
+            NodeOutage(address=addr, at=start, duration=window)
+        )
+    return scenario
+
+
+@dataclass
+class CellRun:
+    """One matrix cell plus its derived metrics."""
+
+    cell: str
+    result: ScenarioResult
+    bucket: float
+    fault_start: float
+    fault_end: float
+    availability: float
+    fault_availability: float
+    baseline_goodput: float
+    fault_goodput: float
+    post_goodput: float
+    attacker_fault_goodput: float
+    recovery_time: Optional[float]
+    goodput_series: List[float]
+    resilience_counters: Dict[str, int]
+
+    def metrics(self) -> Dict[str, object]:
+        """The headline numbers (also what the results artifact records)."""
+        out: Dict[str, object] = {
+            "availability": self.availability,
+            "fault_availability": self.fault_availability,
+            "baseline_goodput": self.baseline_goodput,
+            "fault_goodput": self.fault_goodput,
+            "post_goodput": self.post_goodput,
+            "attacker_fault_goodput": self.attacker_fault_goodput,
+            "recovery_time": self.recovery_time,
+        }
+        out.update(self.resilience_counters)
+        return out
+
+
+def _mean_over(series: List[float], bucket: float, lo: float, hi: float) -> float:
+    lo_i, hi_i = int(lo / bucket), min(int(hi / bucket), len(series))
+    window = series[lo_i:hi_i]
+    return sum(window) / max(1, len(window))
+
+
+def _availability(result: ScenarioResult, lo: float, hi: float) -> float:
+    total = successes = 0
+    for name in BENIGN_CLIENTS:
+        for record in result.clients[name].records:
+            if lo <= record.sent_at < hi:
+                total += 1
+                successes += 1 if record.success else 0
+    return successes / total if total else 0.0
+
+
+def run_cell(cell: str, scale: float = 1.0, seed: int = 42) -> CellRun:
+    scenario = build_cell(cell, scale, seed)
+    result = scenario.run()
+    bucket = 1.0 * scale
+    fault_start, fault_end = OUTAGE_START * scale, OUTAGE_END * scale
+    goodput = benign_goodput_series(result, bucket)
+    baseline = _mean_over(goodput, bucket, BASELINE_FROM * scale, fault_start)
+    attacker = result.clients["attacker"].effective_qps_series(
+        result.duration, bucket=bucket
+    )
+    counters = resilience_counters(result.resolver_stats[0])
+    return CellRun(
+        cell=cell,
+        result=result,
+        bucket=bucket,
+        fault_start=fault_start,
+        fault_end=fault_end,
+        availability=_availability(result, 0.0, result.duration),
+        fault_availability=_availability(result, fault_start, fault_end),
+        baseline_goodput=baseline,
+        fault_goodput=_mean_over(goodput, bucket, fault_start, fault_end),
+        post_goodput=_mean_over(goodput, bucket, fault_end, result.duration),
+        attacker_fault_goodput=_mean_over(attacker, bucket, fault_start, fault_end),
+        recovery_time=recovery_time(goodput, bucket, fault_end, baseline),
+        goodput_series=goodput,
+        resilience_counters=counters,
+    )
+
+
+def run_matrix(scale: float = 1.0, seed: int = 42) -> Dict[str, CellRun]:
+    """Every cell under the identical fault schedule and client load."""
+    return {cell: run_cell(cell, scale=scale, seed=seed) for cell in CELLS}
+
+
+def cell_digest(cell: str, scale: float = 0.05, seed: int = 42) -> str:
+    """SHA-256 over one cell's full delivered-message trace.
+
+    The acceptance gate for the new experiment: two fresh runs with the
+    same seed must hash identically (the selfcheck property extended to
+    the resilience layer's code surface -- breaker jitter, stale paths,
+    shedding decisions all feed the trace).
+    """
+    scenario = build_cell(cell, scale, seed)
+    trace = MessageTrace(scenario.net, max_records=1_000_000)
+    result = scenario.run()
+    digest = hashlib.sha256()
+    for record in trace.records:
+        digest.update(
+            (
+                f"{record.time:.9f}|{record.src}|{record.dst}|{record.question}|"
+                f"{int(record.is_response)}|{record.rcode}|{record.wire_bytes}\n"
+            ).encode("utf-8")
+        )
+    digest.update(f"events={result.events_processed}\n".encode("utf-8"))
+    digest.update(f"messages={len(trace.records)}\n".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def render_report(runs: Dict[str, CellRun], scale: float, seed: int) -> str:
+    lines: List[str] = []
+    lines.append(
+        "=== Resilience matrix: total authoritative outage + NX flood "
+        f"(scale={scale}, seed={seed}) ==="
+    )
+    any_run = next(iter(runs.values()))
+    lines.append(
+        f"\noutage window [{any_run.fault_start:.2f}s, {any_run.fault_end:.2f}s): "
+        "every target nameserver dark; NX flood runs throughout."
+    )
+
+    rows = []
+    for cell, run in runs.items():
+        recovered = (
+            f"{run.recovery_time:.1f}s" if run.recovery_time is not None else "never"
+        )
+        rows.append(
+            [
+                cell,
+                f"{run.availability:.3f}",
+                f"{run.fault_availability:.3f}",
+                round(run.baseline_goodput),
+                round(run.fault_goodput),
+                round(run.post_goodput),
+                round(run.attacker_fault_goodput),
+                recovered,
+            ]
+        )
+    lines.append("\nbenign availability and goodput (summed effective QPS):")
+    lines.append(
+        render_table(
+            [
+                "cell",
+                "avail(all)",
+                "avail(fault)",
+                "goodput pre",
+                "fault",
+                "post",
+                "atk(fault)",
+                "recovery",
+            ],
+            rows,
+        )
+    )
+
+    lines.append("\nresilience-layer counters (first resolver):")
+    lines.append(
+        render_resilience_table(
+            {cell: run.result.resolver_stats[0] for cell, run in runs.items()}
+        )
+    )
+
+    lines.append("\nbenign goodput per second (outage is the dip):")
+    for cell, run in runs.items():
+        lines.append(f"  {cell:>12s} |{sparkline(run.goodput_series)}|")
+
+    hardened, vanilla = runs["hardened"], runs["vanilla"]
+    if hardened.fault_goodput > vanilla.fault_goodput:
+        verdict = (
+            "hardened retains benign service through the outage "
+            "(stale answers + breakers + shedding)"
+        )
+    else:
+        verdict = "WARNING: hardened did not beat vanilla during the outage"
+    lines.append(
+        f"\n{verdict}: {round(hardened.fault_goodput)} vs "
+        f"{round(vanilla.fault_goodput)} benign QPS while every "
+        "authoritative server was down."
+    )
+    return "\n".join(lines)
+
+
+def main(scale: float = 0.25, seed: int = 42, out: Optional[str] = None) -> int:
+    if scale <= 0:
+        raise SystemExit(f"--scale must be positive, got {scale}")
+    runs = run_matrix(scale=scale, seed=seed)
+    report = render_report(runs, scale=scale, seed=seed)
+    print(report)
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"\n[written to {out}]")
+    hardened, vanilla = runs["hardened"], runs["vanilla"]
+    return 0 if hardened.fault_goodput > vanilla.fault_goodput else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(scale=float(sys.argv[1]) if len(sys.argv) > 1 else 0.25))

@@ -69,7 +69,7 @@ def run_table1(
     cache_entries = len(resolver.cache)
     pending_requests = resolver.pending_request_count()
     inflight_queries = len(resolver._query_registry)
-    srtt_entries = len(resolver._srtt)
+    srtt_entries = len(resolver.health.srtt_table())
     resolver_state = {
         "per-client (RL/policing)": (
             resolver.ingress_rl.tracked_keys() if resolver.ingress_rl else clients

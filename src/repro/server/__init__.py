@@ -11,12 +11,29 @@
   resolution with QNAME minimisation, CNAME chasing, NS-address fan-out,
   retries, and egress rate limiting;
 - :mod:`repro.server.forwarder` -- forwarding resolver with upstream
-  failover.
+  failover;
+- :mod:`repro.server.health` -- per-upstream adaptive RTO estimation
+  (RFC 6298) and circuit breakers;
+- :mod:`repro.server.overload` -- front-end admission control with
+  watermark hysteresis and suspicion-aware priority shedding.
 """
 
 from repro.server.ratelimit import TokenBucket, RateLimiter, RateLimitAction, RateLimitConfig
 from repro.server.cache import ResolverCache, CacheEntry
 from repro.server.authoritative import AuthoritativeServer
+from repro.server.health import (
+    BreakerState,
+    HealthConfig,
+    HealthRegistry,
+    HealthStats,
+    UpstreamHealth,
+)
+from repro.server.overload import (
+    OverloadConfig,
+    OverloadController,
+    OverloadStats,
+    ShedPolicy,
+)
 from repro.server.resolver import RecursiveResolver, ResolverConfig
 from repro.server.forwarder import Forwarder, ForwarderConfig
 
@@ -28,6 +45,15 @@ __all__ = [
     "ResolverCache",
     "CacheEntry",
     "AuthoritativeServer",
+    "BreakerState",
+    "HealthConfig",
+    "HealthRegistry",
+    "HealthStats",
+    "UpstreamHealth",
+    "OverloadConfig",
+    "OverloadController",
+    "OverloadStats",
+    "ShedPolicy",
     "RecursiveResolver",
     "ResolverConfig",
     "Forwarder",

@@ -64,7 +64,16 @@ class _PendingQuery:
     same server reuse the slot, as a real resolver's fetch context does).
     """
 
-    __slots__ = ("qname", "qtype", "server", "message_id", "retries_left", "timer", "sent_at")
+    __slots__ = (
+        "qname",
+        "qtype",
+        "server",
+        "message_id",
+        "retries_left",
+        "timer",
+        "sent_at",
+        "retransmitted",
+    )
 
     def __init__(self, qname: Name, qtype: RRType, server: str, message_id: int, retries_left: int) -> None:
         self.qname = qname
@@ -74,6 +83,10 @@ class _PendingQuery:
         self.retries_left = retries_left
         self.timer = None  # netsim Event
         self.sent_at = 0.0
+        #: the query was sent more than once -- under Karn's rule the
+        #: eventual RTT sample is ambiguous and must not feed the
+        #: adaptive estimator
+        self.retransmitted = False
 
 
 class ResolutionTask:
@@ -94,6 +107,7 @@ class ResolutionTask:
         on_done: Callable[[ResolutionOutcome], None],
         depth: int = 0,
         root: Optional["ResolutionTask"] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         self.task_id = next(_task_ids)
         self.resolver = resolver
@@ -104,6 +118,10 @@ class ResolutionTask:
         self.depth = depth
         self.root = root or self
         self.finished = False
+        #: absolute virtual-time budget for the whole task tree (the
+        #: client's patience, threaded in by overload admission); only
+        #: the root's value is consulted
+        self.deadline = deadline if root is None else None
 
         self.current_name = qname
         self.cname_chain: List[RRSet] = []
@@ -145,6 +163,14 @@ class ResolutionTask:
 
     def _fail(self, rcode: RCode = RCode.SERVFAIL) -> None:
         self._finish(ResolutionOutcome(rcode=rcode))
+
+    def _deadline_exceeded(self) -> bool:
+        """Has the task tree outlived its client's patience?"""
+        deadline = self.root.deadline
+        if deadline is not None and self.resolver.now >= deadline:
+            self.resolver.stats.deadline_exhausted += 1
+            return True
+        return False
 
     def abandon(self) -> None:
         """Drop this task tree without reporting an outcome.
@@ -203,11 +229,7 @@ class ResolutionTask:
         addressed: List[str] = []
         for ns_name in ns_names:
             addressed.extend(cache.addresses_for(ns_name, now))
-        candidates = [
-            addr
-            for addr in addressed
-            if addr not in self._tried_servers and self.resolver.server_available(addr)
-        ]
+        candidates = [addr for addr in addressed if addr not in self._tried_servers]
         if not candidates and addressed:
             # Every known server for this cut has been tried and failed:
             # give up rather than hammering dead servers forever.
@@ -217,7 +239,12 @@ class ResolutionTask:
             self._fetch_ns_addresses(ns_names)
             return
 
+        # Hold-down / breaker filtering happens inside pick_server;
+        # None means every untried server is currently gated off.
         server = self.resolver.pick_server(candidates)
+        if server is None:
+            self._fail()
+            return
 
         # 4. Decide the query name (QNAME minimisation) and send.
         qname, qtype = self._next_query(cut_name)
@@ -244,9 +271,23 @@ class ResolutionTask:
         if self.root.queries_sent >= self.root.queries_budget:
             self._fail()
             return
+        if self._deadline_exceeded():
+            self._fail()
+            return
+        if not self.resolver.claim_probe(server):
+            # The server's HALF_OPEN probe slot went to another task
+            # between selection and transmission: treat like a dead
+            # server for this step.
+            self._tried_servers.add(server)
+            if len(self._tried_servers) >= self.resolver.config.max_servers_per_step:
+                self._fail()
+            else:
+                self._advance()
+            return
         if not self.resolver.acquire_server_slot(server):
             # Fetch quota exhausted: fail over like a SERVFAIL (BIND
             # answers SERVFAIL when the per-server quota spills).
+            self.resolver.release_probe(server)
             self._tried_servers.add(server)
             if len(self._tried_servers) >= self.resolver.config.max_servers_per_step:
                 self._fail()
@@ -266,7 +307,7 @@ class ResolutionTask:
         )
         pending.sent_at = self.resolver.now
         pending.timer = self.resolver.sim.schedule(
-            self.resolver.config.query_timeout, self._on_timeout, pending
+            self.resolver.query_timeout_for(server), self._on_timeout, pending
         )
         self._pending = pending
         self.resolver.register_query(query.id, self)
@@ -277,16 +318,23 @@ class ResolutionTask:
             return
         self.resolver.unregister_query(pending.message_id)
         self.resolver.stats.query_timeouts += 1
-        if pending.retries_left > 0 and self.root.queries_sent < self.root.queries_budget:
-            # Retry against the same server with a fresh message ID.
+        if (
+            pending.retries_left > 0
+            and self.root.queries_sent < self.root.queries_budget
+            and not self._deadline_exceeded()
+        ):
+            # Retry against the same server with a fresh message ID,
+            # backing the adaptive RTO off first (RFC 6298 5.5).
+            self.resolver.note_retransmit_timeout(pending.server)
             self.root.queries_sent += 1
             self.resolver.stats.query_retries += 1
             query = Message.query(pending.qname, pending.qtype, recursion_desired=False)
             query.edns_options.append(self.attribution.encode())
             pending.retries_left -= 1
             pending.message_id = query.id
+            pending.retransmitted = True
             pending.timer = self.resolver.sim.schedule(
-                self.resolver.config.query_timeout, self._on_timeout, pending
+                self.resolver.query_timeout_for(pending.server), self._on_timeout, pending
             )
             self.resolver.register_query(query.id, self)
             self.resolver.transmit_query(query, pending.server)
@@ -321,7 +369,11 @@ class ResolutionTask:
         self._pending = None
         self.resolver.unregister_query(response.id)
         self.resolver.release_server_slot(pending.server)
-        self.resolver.note_server_rtt(pending.server, self.resolver.now - pending.sent_at)
+        self.resolver.note_server_rtt(
+            pending.server,
+            self.resolver.now - pending.sent_at,
+            retransmitted=pending.retransmitted,
+        )
         self._process_response(response, pending)
 
     # ------------------------------------------------------------------

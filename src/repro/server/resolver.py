@@ -30,6 +30,8 @@ from repro.dnscore.rrset import ResourceRecord, RRSet
 from repro.dnscore.rdata import AData
 from repro.netsim.node import Node
 from repro.server.cache import ResolverCache
+from repro.server.health import HealthConfig, HealthRegistry
+from repro.server.overload import OverloadConfig, OverloadController, ShedPolicy
 from repro.server.ratelimit import RateLimitAction, RateLimitConfig, RateLimiter
 from repro.server.resolution import ResolutionOutcome, ResolutionTask
 
@@ -91,6 +93,15 @@ class ResolverConfig:
     #: immediately -- the mechanism that collapses benign service once
     #: adversarial congestion keeps the inter-server channel saturated.
     server_backoff_duration: float = 2.0
+    #: per-upstream health tracking (None = legacy mode derived from
+    #: ``query_timeout`` / ``server_backoff_*``, reproducing the seed's
+    #: EWMA + fixed-timeout + blind-hold-down behaviour exactly);
+    #: ``HealthConfig(mode="adaptive")`` turns on the RFC 6298 RTO
+    #: estimator and the three-state circuit breaker
+    health: Optional[HealthConfig] = None
+    #: front-end admission control (None = unbounded pending table,
+    #: matching the paper's vanilla-BIND baseline)
+    overload: Optional[OverloadConfig] = None
     #: local compute cost charged per cache-miss request (seconds)
     processing_delay: float = 0.0
     #: period of the state-purge sweep (0 disables)
@@ -120,6 +131,23 @@ class ResolverStats:
     stale_responses: int = 0
     aggressive_nsec_responses: int = 0
     tcp_fallbacks: int = 0
+    # -- resilience layer ----------------------------------------------
+    #: cache-missing requests refused by front-end admission control
+    shed_requests: int = 0
+    #: of those, requests from clients the DCC monitor held in suspicion
+    shed_suspected: int = 0
+    #: stale answers served pre-resolution (breakers open / saturated)
+    stale_fastpath_responses: int = 0
+    #: resolutions cut short by the per-request deadline budget
+    deadline_exhausted: int = 0
+    # -- health-registry sinks (see repro.server.health.HealthStats) --
+    rtt_samples: int = 0
+    karn_rejections: int = 0
+    failure_events: int = 0
+    breaker_opens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
+    probe_failures: int = 0
     queries_per_server: Dict[str, int] = field(default_factory=dict)
 
 
@@ -152,11 +180,27 @@ class RecursiveResolver(Node):
         self._query_registry: Dict[int, ResolutionTask] = {}
         #: per-server outstanding query counts (fetch quota)
         self._outstanding: Dict[str, int] = {}
-        #: smoothed per-server RTT estimates (seconds)
-        self._srtt: Dict[str, float] = {}
-        #: per-server consecutive-timeout counts and hold-down deadlines
-        self._timeout_streak: Dict[str, int] = {}
-        self._backoff_until: Dict[str, float] = {}
+        #: per-upstream RTO estimation + circuit breakers (replaces the
+        #: seed's _srtt/_timeout_streak/_backoff_until trio); counters
+        #: land directly in ``self.stats``
+        self.health = HealthRegistry(
+            self.config.health
+            or HealthConfig(
+                mode="legacy",
+                base_timeout=self.config.query_timeout,
+                failure_threshold=self.config.server_backoff_threshold,
+                hold_down=self.config.server_backoff_duration,
+            ),
+            self._health_rng,
+            stats=self.stats,
+        )
+        #: front-end admission control (None = vanilla, unbounded)
+        self.overload = (
+            OverloadController(self.config.overload) if self.config.overload else None
+        )
+        #: installed by the DCC shim: client address -> suspicion rank
+        #: (0 normal / 1 suspicious / 2 convicted) for priority shedding
+        self.suspicion_probe: Optional[Callable[[str], int]] = None
         #: (client, request id, qname) -> pending client request
         self._pending_requests: Dict[Tuple[str, int, Name], _PendingRequest] = {}
         #: the "hints file": root hints survive crashes and re-prime the
@@ -173,6 +217,21 @@ class RecursiveResolver(Node):
         self.egress_tap: Optional[Callable[[Message, str], None]] = None
 
         self._purge_scheduled = False
+
+    def _health_rng(self):
+        """Dedicated seeded stream for breaker backoff jitter."""
+        return self.sim.rng(f"resolver.{self.address}.health")
+
+    # -- legacy-introspection views (the seed exposed raw dicts) -------
+    @property
+    def _srtt(self) -> Dict[str, float]:
+        """Known smoothed per-server RTT estimates (read-only view)."""
+        return self.health.srtt_table()
+
+    @property
+    def _backoff_until(self) -> Dict[str, float]:
+        """Servers currently held down / breaker-open -> reopen time."""
+        return self.health.open_table(self.now)
 
     # ------------------------------------------------------------------
     # priming
@@ -211,9 +270,9 @@ class RecursiveResolver(Node):
         self._pending_requests.clear()
         self._query_registry.clear()
         self._outstanding.clear()
-        self._srtt.clear()
-        self._timeout_streak.clear()
-        self._backoff_until.clear()
+        self.health.clear()
+        if self.overload is not None:
+            self.overload.reset()
         if self.ingress_rl is not None:
             self.ingress_rl = RateLimiter(self.config.ingress_limit)
         if self.egress_rl is not None:
@@ -291,6 +350,37 @@ class RecursiveResolver(Node):
         key = (client, request.id, qname)
         if key in self._pending_requests:
             return  # duplicate in-flight request from the same client
+
+        deadline: Optional[float] = None
+        if self.overload is not None:
+            pending_count = len(self._pending_requests)
+            saturated = self.overload.pressure(pending_count)
+            # Serve-stale fast path: when upstreams are broken (an open
+            # breaker) or the front end is saturated, an expired cache
+            # entry now beats a full resolution that will likely fail or
+            # arrive after the client gave up (RFC 8767 applied
+            # pre-resolution).
+            if self.overload.config.serve_stale and (
+                saturated or self.health.any_open(self.now)
+            ):
+                stale = self.cache.get_stale(qname, qtype, self.now)
+                if stale is not None and stale.rrset is not None:
+                    response = request.make_response(RCode.NOERROR)
+                    response.answers.append(stale.rrset)
+                    self.stats.stale_fastpath_responses += 1
+                    self._respond(client, response)
+                    return
+            priority = self.suspicion_probe(client) if self.suspicion_probe else 0
+            if not self.overload.admit(pending_count, priority):
+                self.stats.shed_requests += 1
+                if priority > 0:
+                    self.stats.shed_suspected += 1
+                if self.overload.config.shed_policy is ShedPolicy.SERVFAIL:
+                    self.stats.servfail_responses += 1
+                    self._respond(client, request.make_response(RCode.SERVFAIL))
+                return
+            deadline = self.overload.deadline_for(self.now)
+
         pending = _PendingRequest(client=client, request=request, arrived_at=self.now)
         self._pending_requests[key] = pending
 
@@ -301,6 +391,7 @@ class RecursiveResolver(Node):
             qtype,
             attribution,
             on_done=lambda outcome: self._complete_request(key, outcome),
+            deadline=deadline,
         )
         pending.task = task
         if self.config.processing_delay > 0:
@@ -370,47 +461,60 @@ class RecursiveResolver(Node):
     def outstanding_to(self, server: str) -> int:
         return self._outstanding.get(server, 0)
 
-    def pick_server(self, candidates: List[str]) -> str:
-        """Server selection among a delegation's addressed NS set."""
-        if len(candidates) == 1:
-            return candidates[0]
-        rng = self.sim.rng(f"resolver.{self.address}.srtt")
-        if self.config.server_selection != "srtt" or rng.random() < self.config.srtt_explore:
-            return rng.choice(candidates)
-        # Prefer the lowest smoothed RTT; unknown servers look fast so
-        # they get probed early on.
-        return min(candidates, key=lambda addr: self._srtt.get(addr, 0.0))
+    def pick_server(self, candidates: List[str]) -> Optional[str]:
+        """Server selection among a delegation's addressed NS set.
 
-    def note_server_rtt(self, server: str, rtt: float) -> None:
-        """EWMA update on a successful exchange."""
-        previous = self._srtt.get(server, rtt)
-        self._srtt[server] = 0.7 * previous + 0.3 * rtt
-        self._timeout_streak.pop(server, None)
+        Availability filtering lives *here*, in one place: servers in
+        hold-down or with an OPEN breaker (or whose HALF_OPEN probe slot
+        is already taken) are excluded before SRTT selection, so callers
+        no longer need their own ``server_available`` pass.  Returns
+        None when every candidate is gated off.
+        """
+        if not candidates:
+            return None
+        rng = self.sim.rng(f"resolver.{self.address}.srtt")
+        explore = (
+            1.0 if self.config.server_selection != "srtt" else self.config.srtt_explore
+        )
+        return self.health.select(candidates, self.now, rng, explore)
+
+    def note_server_rtt(self, server: str, rtt: float, retransmitted: bool = False) -> None:
+        """RTT sample from a successful exchange.
+
+        Legacy mode applies the seed's 0.7/0.3 EWMA; adaptive mode runs
+        the RFC 6298 estimator and -- per Karn's rule -- rejects samples
+        from retransmitted exchanges.
+        """
+        self.health.on_success(server, rtt, self.now, retransmitted=retransmitted)
+
+    def note_retransmit_timeout(self, server: str) -> None:
+        """One transmission timed out but the exchange will be retried:
+        back the adaptive RTO off without charging the breaker."""
+        self.health.on_transmission_timeout(server)
 
     def note_server_timeout(self, server: str) -> None:
-        """Penalise a server that timed out (BIND multiplies the SRTT)
-        and engage hold-down after a streak of failures."""
-        previous = self._srtt.get(server, self.config.query_timeout)
-        self._srtt[server] = min(previous * 2 + 0.01, 60.0)
-        threshold = self.config.server_backoff_threshold
-        if threshold <= 0:
-            return
-        streak = self._timeout_streak.get(server, 0) + 1
-        self._timeout_streak[server] = streak
-        if streak >= threshold:
-            self._backoff_until[server] = self.now + self.config.server_backoff_duration
-            self._timeout_streak[server] = 0
+        """Penalise a server whose exchange was abandoned (all retries
+        timed out): SRTT penalty/RTO backoff plus one failure towards
+        the breaker threshold."""
+        if self.health.on_failure(server, self.now):
             self.stats.server_backoffs += 1
 
     def server_available(self, server: str) -> bool:
-        """False while the server is in hold-down."""
-        until = self._backoff_until.get(server)
-        if until is None:
-            return True
-        if self.now >= until:
-            del self._backoff_until[server]
-            return True
-        return False
+        """False while the server is held down / breaker-open."""
+        return self.health.available(server, self.now)
+
+    def query_timeout_for(self, server: str) -> float:
+        """Per-query timer for ``server``: the fixed configured timeout
+        in legacy mode, the adaptive RTO otherwise."""
+        return self.health.timeout_for(server)
+
+    def claim_probe(self, server: str) -> bool:
+        """Claim the server's single HALF_OPEN probe slot (always True
+        for CLOSED breakers)."""
+        return self.health.acquire_probe(server, self.now)
+
+    def release_probe(self, server: str) -> None:
+        self.health.release_probe(server)
 
     def transmit_query(self, query: Message, server: str) -> None:
         """Egress point for every resolver-generated query.

@@ -39,6 +39,15 @@ def test_ablations(capsys):
     assert "head-of-line" in out
 
 
+def test_resilience_small(capsys, tmp_path):
+    out_file = tmp_path / "matrix.txt"
+    assert main(["resilience", "--scale", "0.05", "--out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "Resilience matrix" in out
+    assert "hardened retains benign service" in out
+    assert "Resilience matrix" in out_file.read_text()
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])
