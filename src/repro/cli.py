@@ -13,6 +13,7 @@ regenerated without writing Python:
     python -m repro chaos --scale 0.25   # fault injection, DCC on/off
     python -m repro resilience --scale 0.25  # vanilla vs hardened resolver
     python -m repro selfcheck            # determinism proof (SimSan on)
+    python -m repro obs --scale 0.15     # observed run, exports traces
     python -m repro all --scale 0.1      # everything, quick settings
 """
 
@@ -75,6 +76,19 @@ def _build_parser() -> argparse.ArgumentParser:
     selfcheck.add_argument("--runs", type=int, default=2)
     selfcheck.add_argument("--out", type=str, default=None,
                            help="also write the report to this file")
+
+    obs = sub.add_parser(
+        "obs",
+        help="run one observed fig4-style scenario and export "
+        "metrics.jsonl + a Perfetto-loadable Chrome trace",
+    )
+    obs.add_argument("--scale", type=float, default=0.15,
+                     help="timeline compression (1.0 = 50-second runs)")
+    obs.add_argument("--seed", type=int, default=42)
+    obs.add_argument("--out-dir", type=str, default="results/obs",
+                     help="directory for metrics.jsonl and trace.json")
+    obs.add_argument("--top", type=int, default=10,
+                     help="heavy-hitter table depth")
 
     chaos = sub.add_parser(
         "chaos", help="resilience under infrastructure faults (DCC on/off)"
@@ -139,6 +153,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         return selfcheck.main(
             seed=args.seed, scale=args.scale, runs=args.runs, out=args.out
+        )
+    elif args.command == "obs":
+        from repro.experiments import obs_demo
+
+        return obs_demo.main(
+            scale=args.scale, seed=args.seed, out_dir=args.out_dir, top=args.top
         )
     elif args.command == "chaos":
         from repro.experiments import chaos_resilience

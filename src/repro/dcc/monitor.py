@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.dnscore.rdata import RCode
+from repro.obs import NULL_OBS
+from repro.obs.sketch import SpaceSaving
 from repro.util.sliding import SlidingWindowCounter, SlidingWindowRatio
 
 
@@ -68,6 +70,9 @@ class MonitorConfig:
     request_rate_threshold: Optional[float] = None
     #: ignore windows with fewer observations than this (noise floor)
     min_observations: int = 4
+    #: run O(k)-memory Space-Saving top-talker sketches alongside the
+    #: per-client sliding windows (0 disables; see repro.obs.sketch)
+    heavy_hitter_k: int = 0
 
 
 @dataclass
@@ -129,6 +134,16 @@ class AnomalyMonitor:
         self._sensitivity_until = 0.0
         self._base_nx_threshold = self.config.nxdomain_ratio_threshold
         self._base_amp_threshold = self.config.amplification_request_threshold
+        #: observability facade + the owning shim's track (scenario wiring)
+        self.obs = NULL_OBS
+        self.obs_track = ""
+        #: optional O(k) top-talker sketches (heavy_hitter_k > 0); an
+        #: alternative to walking every _ClientState for rankings
+        self.hh_queries: Optional[SpaceSaving] = None
+        self.hh_nxdomain: Optional[SpaceSaving] = None
+        if self.config.heavy_hitter_k > 0:
+            self.hh_queries = SpaceSaving(self.config.heavy_hitter_k)
+            self.hh_nxdomain = SpaceSaving(self.config.heavy_hitter_k)
 
     def _state(self, client: str, now: float) -> _ClientState:
         state = self._clients.get(client)
@@ -149,10 +164,15 @@ class AnomalyMonitor:
     def record_query(self, client: str, now: float) -> None:
         """An outgoing query was attributed to ``client``."""
         self._state(client, now).queries.add(now)
+        if self.hh_queries is not None:
+            self.hh_queries.offer(client)
 
     def record_answer(self, client: str, rcode: RCode, now: float) -> None:
         """An upstream answer for a query attributed to ``client``."""
-        self._state(client, now).nx_ratio.record(now, hit=(rcode == RCode.NXDOMAIN))
+        nxdomain = rcode == RCode.NXDOMAIN
+        self._state(client, now).nx_ratio.record(now, hit=nxdomain)
+        if nxdomain and self.hh_nxdomain is not None:
+            self.hh_nxdomain.offer(client)
 
     def record_anomalous_request(self, client: str, now: float) -> None:
         """One of the client's requests crossed the per-request
@@ -241,9 +261,21 @@ class AnomalyMonitor:
         self.stats.alarms_raised += weight
         threshold = self.config.alarm_threshold
         convicted = state.alarms >= threshold
+        if self.obs.enabled:
+            self.obs.inc("monitor.alarms")
+            self.obs.instant(
+                "monitor.alarm",
+                self.obs_track,
+                now,
+                client=client,
+                kind=kind.name,
+                alarms=state.alarms,
+            )
         if convicted:
             state.verdict = ClientVerdict.CONVICTED
             self.stats.convictions += 1
+            if self.obs.enabled:
+                self.obs.inc("monitor.convictions")
         return AnomalyEvent(
             client=client,
             kind=kind,
@@ -297,6 +329,24 @@ class AnomalyMonitor:
             state.alarms = max(0, self.config.alarm_threshold - 1)
             if state.suspicious_since is None:
                 state.suspicious_since = state.last_seen
+
+    def top_talkers(self, n: int, now: float) -> List[tuple]:
+        """The ``n`` clients issuing the most attributed queries, as
+        ``(client, count)`` pairs.
+
+        With ``heavy_hitter_k`` configured this reads the O(k)
+        Space-Saving sketch (counts are lifetime totals, error bounded
+        by n/k); otherwise it falls back to walking every tracked
+        client's sliding window (exact, but O(clients) memory -- the
+        cost the sketch exists to avoid).
+        """
+        if self.hh_queries is not None:
+            return [(hh.key, hh.count) for hh in self.hh_queries.top(n)]
+        ranked = sorted(
+            ((client, state.queries.total(now)) for client, state in self._clients.items()),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked[:n]
 
     def tracked_clients(self) -> int:
         return len(self._clients)

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import sanitize as simsan
+from repro.obs import NULL_OBS
 from repro.server.ratelimit import TokenBucket
 from repro.util.ordmap import OrderedMap
 from repro.util.ringbuf import RingBuffer
@@ -193,6 +194,8 @@ class MopiFq:
         self._out_seq: OrderedMap = OrderedMap()
         self._seq = itertools.count()
         self.stats = MopiFqStats()
+        #: observability facade (one enabled-test per op when off)
+        self.obs = NULL_OBS
 
     # ------------------------------------------------------------------
     # channel configuration
@@ -288,6 +291,8 @@ class MopiFq:
         self._note_enqueue(state, source, src_nxt)
         self.total_depth += 1
         self.stats.enqueued += 1
+        if self.obs.enabled:
+            self.obs.observe("mopifq.enqueue_depth", state.depth)
         if self._san:
             self._sanitize_op(destination)
         return EnqueueStatus.SUCCESS, evicted

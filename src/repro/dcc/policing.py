@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro import sanitize as simsan
 from repro.dcc.monitor import AnomalyKind
+from repro.obs import NULL_OBS
 from repro.server.ratelimit import TokenBucket
 
 
@@ -100,6 +101,9 @@ class PolicyEngine:
         self.on_expire = on_expire
         self._policies: Dict[str, Policy] = {}
         self.stats = PolicingStats()
+        #: observability facade + the owning shim's track (scenario wiring)
+        self.obs = NULL_OBS
+        self.obs_track = ""
 
     # ------------------------------------------------------------------
     # activation
@@ -133,6 +137,16 @@ class PolicyEngine:
             policy.bucket = TokenBucket(max(template.rate, 1e-9), max(template.rate, 1.0))
         self._policies[client] = policy
         self.stats.policies_activated += 1
+        if self.obs.enabled:
+            self.obs.inc("police.activations")
+            self.obs.instant(
+                "police.activate",
+                self.obs_track,
+                now,
+                client=client,
+                kind=policy.kind.name,
+                duration=template.duration,
+            )
         return policy
 
     # ------------------------------------------------------------------
@@ -153,13 +167,20 @@ class PolicyEngine:
             return True
         if policy.kind == PolicyKind.BLOCK:
             self.stats.queries_blocked += 1
+            if self.obs.enabled:
+                self.obs.inc("police.queries_blocked")
         else:
             self.stats.queries_rate_limited += 1
+            if self.obs.enabled:
+                self.obs.inc("police.queries_rate_limited")
         return False
 
     def _expire(self, client: str) -> None:
         self._policies.pop(client, None)
         self.stats.policies_expired += 1
+        if self.obs.enabled:
+            # No clock in here (expiry is detected lazily): counter only.
+            self.obs.inc("police.expirations")
         if self.on_expire is not None:
             self.on_expire(client)
 

@@ -42,11 +42,13 @@ from repro.dcc.signaling import (
     PolicingSignal,
     attach_signal,
     extract_signals,
+    signal_name,
 )
 from repro.dcc.state import DccStateTables, PerRequestState
 from repro.dnscore.edns import ClientAttribution, OptionCode
 from repro.dnscore.message import Message
 from repro.dnscore.rdata import RCode
+from repro.obs import NULL_OBS
 
 #: attribution used for a resolver's own housekeeping queries (priming
 #: etc.) that no client is responsible for
@@ -131,6 +133,13 @@ class DccShim:
         self._pump_event = None
         self._pump_at: Optional[float] = None
         self._ticking = False
+        #: observability facade + this shim's track names
+        self.obs = NULL_OBS
+        host = getattr(resolver, "address", "?")
+        self._obs_track = f"dcc:{host}"
+        self._obs_fq_track = f"mopifq:{host}"
+        #: queued query id -> open "mopifq.wait" span handle
+        self._obs_wait: Dict[int, int] = {}
 
         resolver.egress_query_hook = self._on_egress_query
         resolver.ingress_answer_hook = self._on_ingress_answer
@@ -175,6 +184,10 @@ class DccShim:
             self._pump_at = None
         self._inflight.clear()
         self.learned_capacities.clear()
+        if self.obs.enabled and self._obs_wait:
+            for span in self._obs_wait.values():
+                self.obs.end(span, self.now, outcome="crashed")
+            self._obs_wait.clear()
         self.scheduler = self._make_scheduler()
         self.monitor = AnomalyMonitor(self.config.monitor)
         self.engine = PolicyEngine(
@@ -182,6 +195,13 @@ class DccShim:
             on_expire=self.monitor.clear_conviction,
         )
         self.tables = DccStateTables()
+        if self.obs.enabled:
+            # The rebuilt components must keep reporting to the same run.
+            self.scheduler.obs = self.obs
+            self.monitor.obs = self.obs
+            self.monitor.obs_track = self._obs_track
+            self.engine.obs = self.obs
+            self.engine.obs_track = self._obs_track
 
     def _on_host_recover(self) -> None:
         """Operator-configured channel capacities come back from the
@@ -248,6 +268,11 @@ class DccShim:
             if not self.engine.check(client, now):
                 self.stats.queries_policed += 1
                 reqstate.dropped_policing += 1
+                if self.obs.enabled:
+                    self.obs.inc("dcc.queries_policed")
+                    self.obs.instant(
+                        "police.refuse", self._obs_track, now, client=client
+                    )
                 self._synthesize_servfail(query, server)
                 return True
 
@@ -258,12 +283,37 @@ class DccShim:
             self.stats.queries_scheduled += 1
             if reqstate is not None:
                 reqstate.queries_sent += 1
+            if self.obs.enabled:
+                self.obs.inc("dcc.queries_scheduled")
+                span = self.obs.begin(
+                    "mopifq.wait",
+                    self._obs_fq_track,
+                    now,
+                    parent=self.obs.query_span(query.id),
+                    client=client,
+                    server=server,
+                )
+                if span:
+                    self._obs_wait[query.id] = span
+                self.obs.set_gauge(
+                    "mopifq.depth", getattr(self.scheduler, "total_depth", 0)
+                )
             self._pump()
         else:
             self.stats.queries_dropped_congestion += 1
             if reqstate is not None:
                 reqstate.dropped_congestion += 1
                 reqstate.allocated_rate = self._allocated_rate(client, server)
+            if self.obs.enabled:
+                self.obs.inc(f"dcc.enqueue_{status.name.lower()}")
+                self.obs.instant(
+                    "mopifq.reject",
+                    self._obs_fq_track,
+                    now,
+                    client=client,
+                    server=server,
+                    status=status.name,
+                )
             self._synthesize_servfail(query, server)
         return True
 
@@ -281,6 +331,10 @@ class DccShim:
     def _handle_eviction(self, evicted, now: float) -> None:
         self.stats.queries_evicted += 1
         query, server = evicted.payload
+        if self.obs.enabled:
+            self.obs.inc("dcc.queries_evicted")
+            span = self._obs_wait.pop(query.id, 0)
+            self.obs.end(span, now, outcome="evicted")
         attribution = self._attribution(query)
         if attribution.client != LOCAL_SOURCE:
             state = self.tables.get_request(attribution.client, attribution.request_id)
@@ -313,6 +367,9 @@ class DccShim:
                     server,
                 )
             self.stats.queries_sent += 1
+            if self.obs.enabled:
+                span = self._obs_wait.pop(query.id, 0)
+                self.obs.end(span, now, outcome="sent")
             self.resolver.raw_send_query(query, server)
         self._arm_pump()
 
@@ -349,6 +406,15 @@ class DccShim:
         if signals:
             self.stats.signals_received += len(signals)
             for signal in signals:
+                if self.obs.enabled:
+                    self.obs.inc(f"dcc.signal_rx_{signal_name(signal)}")
+                    self.obs.instant(
+                        "signal.rx",
+                        self._obs_track,
+                        now,
+                        kind=signal_name(signal),
+                        src=src,
+                    )
                 if isinstance(signal, CapacitySignal):
                     self._learn_capacity(src, signal)
                 else:
@@ -415,6 +481,7 @@ class DccShim:
                 response, CapacitySignal(self.config.advertise_ingress_limit)
             ):
                 self.stats.capacities_advertised += 1
+                self._note_attach("capacity", client, now)
         reqstate = self.tables.close_request(client, response.id)
         if reqstate is None or not self.config.signaling:
             return response
@@ -424,6 +491,7 @@ class DccShim:
         for signal in reqstate.relay_signals:
             if attach_signal(response, signal, prefer_existing=True):
                 self.stats.signals_attached += 1
+                self._note_attach(f"relay_{signal_name(signal)}", client, now)
 
         if reqstate.dropped_policing > 0:
             policy = self.engine.policy_for(client, now)
@@ -432,6 +500,7 @@ class DccShim:
                 PolicingSignal(policy.kind, policy.remaining(now), policy.reason),
             ):
                 self.stats.signals_attached += 1
+                self._note_attach("policing", client, now)
 
         # Anomaly signals go only on responses to *anomalous* requests
         # from a suspicious client (Section 3.3.1) -- never on a benign
@@ -456,6 +525,7 @@ class DccShim:
                 )
                 if attach_signal(response, signal):
                     self.stats.signals_attached += 1
+                    self._note_attach("anomaly", client, now)
 
         if reqstate.dropped_congestion > 0:
             signal = CongestionSignal(
@@ -464,7 +534,15 @@ class DccShim:
             )
             if attach_signal(response, signal):
                 self.stats.signals_attached += 1
+                self._note_attach("congestion", client, now)
         return response
+
+    def _note_attach(self, kind: str, client: str, now: float) -> None:
+        if self.obs.enabled:
+            self.obs.inc(f"dcc.signal_tx_{kind}")
+            self.obs.instant(
+                "signal.attach", self._obs_track, now, kind=kind, client=client
+            )
 
     # ------------------------------------------------------------------
     # periodic work
@@ -478,6 +556,15 @@ class DccShim:
 
     def _act_on_event(self, event: AnomalyEvent, now: float) -> None:
         if event.convicted:
+            if self.obs.enabled:
+                self.obs.inc("dcc.convictions")
+                self.obs.instant(
+                    "dcc.convict",
+                    self._obs_track,
+                    now,
+                    client=event.client,
+                    kind=event.kind.name,
+                )
             self.engine.convict(event.client, event.kind, now)
 
     def _purge_tick(self) -> None:

@@ -191,6 +191,19 @@ def attach_signal(message: Message, signal: Signal, prefer_existing: bool = True
     return True
 
 
+_SIGNAL_NAMES = {
+    AnomalySignal: "anomaly",
+    PolicingSignal: "policing",
+    CongestionSignal: "congestion",
+    CapacitySignal: "capacity",
+}
+
+
+def signal_name(signal: Signal) -> str:
+    """Short lowercase label for a signal (observability annotations)."""
+    return _SIGNAL_NAMES.get(type(signal), type(signal).__name__.lower())
+
+
 def has_signal(message: Message, code: OptionCode) -> bool:
     return any(option.code == int(code) for option in message.edns_options)
 

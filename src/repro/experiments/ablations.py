@@ -157,6 +157,9 @@ def main(seed: int = 1) -> None:
     """``seed`` feeds the studies' local jitter RNGs (the depth study
     keeps its historical default of ``seed + 6`` so published numbers
     stay reproducible); the process-global RNG is never touched."""
+    from repro.analysis.provenance import provenance_header
+
+    print(provenance_header("ablations", seed=seed))
     print("=== Ablation 1: scheduler design space (Figure 7) ===\n")
     print("-- fairness: hog 500 QPS vs 3x meek 20 QPS on a 100-QPS channel --")
     print(render_table(

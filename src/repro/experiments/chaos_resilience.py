@@ -321,8 +321,11 @@ def render_report(runs: Dict[str, ChaosRun], scale: float, seed: int) -> str:
 def main(scale: float = 0.25, seed: int = 42, out: Optional[str] = None) -> None:
     if scale <= 0:
         raise SystemExit(f"--scale must be positive, got {scale}")
+    from repro.analysis.provenance import provenance_header
+
     runs = run_pair(scale=scale, seed=seed)
-    report = render_report(runs, scale=scale, seed=seed)
+    header = provenance_header("chaos", seed=seed, scale=scale)
+    report = header + "\n" + render_report(runs, scale=scale, seed=seed)
     print(report)
     if out:
         with open(out, "w", encoding="utf-8") as fh:

@@ -31,6 +31,7 @@ from repro.dnscore.message import Message, Question
 from repro.netsim.faults import FaultInjector
 from repro.netsim.link import Network
 from repro.netsim.sim import Simulator
+from repro.obs import ObsConfig, Observability
 from repro.analysis.series import TimeSeries
 from repro.server.authoritative import AuthoritativeServer
 from repro.server.forwarder import Forwarder, ForwarderConfig
@@ -130,6 +131,9 @@ class ScenarioConfig:
     #: name-pool size for the "WC_POOL" client pattern (names repeat, so
     #: the traffic is cache-hittable -- and serve-stale-able)
     wc_pool_size: int = 512
+    #: opt into the repro.obs observability subsystem (None = off, the
+    #: zero-overhead default; see docs/OBSERVABILITY.md)
+    obs: Optional[ObsConfig] = None
 
 
 @dataclass
@@ -162,7 +166,12 @@ class AttackScenario:
         self.shims: List[DccShim] = []
         self._client_addr: Dict[str, str] = {}
         self._wire_series: Dict[str, TimeSeries] = {}
+        #: live observability facade, or None when the run is not observed
+        self.obs: Optional[Observability] = (
+            Observability(config.obs) if config.obs is not None else None
+        )
         self._build()
+        self._wire_obs()
 
     # ------------------------------------------------------------------
     # topology
@@ -310,6 +319,37 @@ class AttackScenario:
 
                     resolver.ingress_rl = RateLimiter(resolver.config.ingress_limit)
 
+    def _wire_obs(self) -> None:
+        """Hand the live facade to every instrumented component.
+
+        A single Observability instance observes the whole scenario; the
+        track names encode which entity each span/instant belongs to.
+        """
+        obs = self.obs
+        if obs is None:
+            return
+        obs.attach(self.sim)
+        nodes = [self.root, self.attacker_ans, *self.target_ans, *self.resolvers]
+        if self.forwarder is not None:
+            nodes.append(self.forwarder)
+        for node in nodes:
+            node.obs = obs
+        for resolver in self.resolvers:
+            resolver.health.obs = obs
+            resolver.health.obs_track = f"resolver:{resolver.address}"
+            if resolver.overload is not None:
+                resolver.overload.obs = obs
+        if self.forwarder is not None:
+            self.forwarder.health.obs = obs
+            self.forwarder.health.obs_track = f"forwarder:{self.forwarder.address}"
+        for shim in self.shims:
+            shim.obs = obs
+            shim.monitor.obs = obs
+            shim.monitor.obs_track = shim._obs_track
+            shim.engine.obs = obs
+            shim.engine.obs_track = shim._obs_track
+            shim.scheduler.obs = obs
+
     def _make_tap(self):
         """Per-second wire accounting keyed by attributed client."""
         duration = self.config.duration
@@ -401,6 +441,8 @@ class AttackScenario:
         for client in self.clients.values():
             client.start()
         self.sim.run(until=self.config.duration + grace)
+        if self.obs is not None:
+            self.obs.finish(self.sim.now)
         effective = {
             name: client.effective_qps_series(self.config.duration)
             for name, client in self.clients.items()

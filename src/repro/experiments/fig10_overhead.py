@@ -158,6 +158,11 @@ def run_client_sweep(
 
 
 def main(ops: int = 50_000, quick: bool = False, seed: int = 11) -> None:
+    from repro.analysis.provenance import provenance_header
+
+    print(provenance_header(
+        "fig10", seed=seed, config={"ops": ops, "quick": quick}
+    ))
     counts = [10_000, 40_000, 100_000] if quick else None
     print("=== Figure 10(a): fixed 1K clients, varying servers ===")
     rows = []

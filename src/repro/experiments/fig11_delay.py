@@ -131,6 +131,9 @@ def run_figure11(
 
 
 def main(quick: bool = False) -> None:
+    from repro.analysis.provenance import provenance_header
+
+    print(provenance_header("fig11", config={"quick": quick}))
     combos = [(1000, 1000), (100_000, 100_000)] if quick else None
     requests = 5000 if quick else 20_000
     results = run_figure11(requests=requests, combos=combos)

@@ -115,6 +115,11 @@ def run_figure2(
 
 
 def main(scale: float = 0.1, resolver_count: Optional[int] = None) -> None:
+    from repro.analysis.provenance import provenance_header
+
+    print(provenance_header(
+        "fig2", scale=scale, config={"resolver_count": resolver_count}
+    ))
     result = run_figure2(scale=scale, resolver_count=resolver_count)
     print(f"=== Figure 2: rate limits across {len(result.measurements)} resolvers "
           f"(probe scale={scale}) ===\n")

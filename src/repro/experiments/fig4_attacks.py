@@ -202,6 +202,9 @@ def run_figure4(
 
 
 def main(time_scale: float = 1.0, quick: bool = False) -> None:
+    from repro.analysis.provenance import provenance_header
+
+    print(provenance_header("fig4", scale=time_scale, config={"quick": quick}))
     figure = run_figure4(time_scale=time_scale, quick=quick)
     captions = {
         "a": "Figure 4(a) redundant auth servers (FF amplification)",

@@ -129,6 +129,9 @@ def summarize(run: Figure8Run, phases: List[tuple]) -> List[List[object]]:
 
 
 def main(scale: float = 1.0, seed: int = 42) -> None:
+    from repro.analysis.provenance import provenance_header
+
+    print(provenance_header("fig8", seed=seed, scale=scale))
     runs = run_figure8(scale=scale, seed=seed)
     duration = 60.0 * scale
     phases = [

@@ -97,6 +97,9 @@ def collateral_damage(run: Figure9Run, scale: float) -> Dict[str, float]:
 
 
 def main(scale: float = 1.0, seed: int = 42) -> None:
+    from repro.analysis.provenance import provenance_header
+
+    print(provenance_header("fig9", seed=seed, scale=scale))
     runs = run_figure9(scale=scale, seed=seed)
     for scenario, pair in runs.items():
         caption = "Figure 9(a)" if scenario == "nxdomain" else "Figure 9(b)"

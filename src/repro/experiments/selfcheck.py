@@ -32,8 +32,13 @@ from repro.netsim.trace import MessageTrace
 from repro.workloads.schedule import table2_clients
 
 
-def trace_digest(seed: int = 42, scale: float = 0.05) -> str:
-    """SHA-256 over the full delivered-message trace of one fresh run."""
+def trace_digest(seed: int = 42, scale: float = 0.05, obs=None) -> str:
+    """SHA-256 over the full delivered-message trace of one fresh run.
+
+    ``obs`` optionally enables the observability subsystem
+    (:class:`repro.obs.ObsConfig`); the digest must not change when it
+    does -- instrumentation is forbidden from perturbing the simulation.
+    """
     specs = table2_clients("nxdomain", time_scale=scale)
     config = ScenarioConfig(
         seed=seed,
@@ -41,6 +46,7 @@ def trace_digest(seed: int = 42, scale: float = 0.05) -> str:
         channel_capacity=1000.0,
         use_dcc=True,
         ff_instances=20,
+        obs=obs,
     )
     scenario = AttackScenario(config)
     trace = MessageTrace(scenario.net, max_records=1_000_000)
@@ -76,8 +82,13 @@ def main(
     seed: int = 42, scale: float = 0.05, runs: int = 2, out: Optional[str] = None
 ) -> int:
     """Print per-run digests; exit 0 iff all runs hashed identically."""
+    from repro.analysis.provenance import provenance_header
+
     digests = run_selfcheck(seed=seed, scale=scale, runs=runs)
-    lines = [f"=== Determinism self-check (seed={seed}, scale={scale}) ==="]
+    lines = [
+        provenance_header("selfcheck", seed=seed, scale=scale, config={"runs": runs}),
+        f"=== Determinism self-check (seed={seed}, scale={scale}) ===",
+    ]
     for i, digest in enumerate(digests, start=1):
         lines.append(f"run {i}: {digest}")
     identical = len(set(digests)) == 1

@@ -90,6 +90,9 @@ def run_table1(
 
 
 def main() -> None:
+    from repro.analysis.provenance import provenance_header
+
+    print(provenance_header("table1"))
     snapshot = run_table1()
     print("=== Table 1: live state entries, resolver vs DCC ===\n")
     rows = []

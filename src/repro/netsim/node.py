@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, List, Optional
 
+from repro.obs import NULL_OBS
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dnscore.message import Message
     from repro.netsim.link import Network
@@ -39,6 +41,9 @@ class Node:
         #: crashes without subclassing it), fired after on_crash/on_recover
         self.crash_hooks: List[Callable[[], None]] = []
         self.recover_hooks: List[Callable[[], None]] = []
+        #: observability facade; the no-op singleton unless a scenario
+        #: opts in (see :mod:`repro.obs`)
+        self.obs = NULL_OBS
 
     @property
     def now(self) -> float:

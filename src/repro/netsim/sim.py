@@ -74,6 +74,11 @@ class Simulator:
         #: SimSan: check heap monotonicity and compaction soundness at
         #: runtime (defaults to the REPRO_SIMSAN environment switch)
         self.sanitize = simsan.ENABLED if sanitize is None else bool(sanitize)
+        #: observability sampler, invoked with the new clock value on
+        #: every advance.  Riding the run loop instead of scheduling
+        #: keeps the event count -- and thus the selfcheck digest --
+        #: identical whether or not anything is observing.
+        self.obs_tick: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------
     # time and randomness
@@ -176,6 +181,8 @@ class Simulator:
                     f"event dequeued in the past: t={event.time!r} < now={self._now!r} ({event!r})"
                 )
             self._now = event.time
+            if self.obs_tick is not None:
+                self.obs_tick(event.time)
             event.fn(*event.args)
             processed += 1
             self.events_processed += 1
@@ -183,6 +190,8 @@ class Simulator:
                 break
         if until is not None and self._now < until:
             self._now = until
+            if self.obs_tick is not None:
+                self.obs_tick(until)
 
     def step(self) -> bool:
         """Process a single event; returns False when the heap is empty."""
@@ -197,6 +206,8 @@ class Simulator:
                     f"event dequeued in the past: t={event.time!r} < now={self._now!r} ({event!r})"
                 )
             self._now = event.time
+            if self.obs_tick is not None:
+                self.obs_tick(event.time)
             event.fn(*event.args)
             self.events_processed += 1
             return True

@@ -94,13 +94,42 @@ class MessageTrace:
             counts[key] = counts.get(key, 0) + 1
         return counts
 
+    def channel_bytes(self) -> Dict[Tuple[str, str], int]:
+        """Wire bytes per directed (src, dst) channel."""
+        totals: Dict[Tuple[str, str], int] = {}
+        for record in self.records:
+            key = (record.src, record.dst)
+            totals[key] = totals.get(key, 0) + record.wire_bytes
+        return totals
+
+    def byte_ratio(self) -> Optional[float]:
+        """Response-to-query wire-byte ratio across the whole trace.
+
+        The classic amplification indicator: >1 means answers outweigh
+        questions.  None when the trace holds no query bytes.
+        """
+        query_bytes = 0
+        response_bytes = 0
+        for record in self.records:
+            if record.is_response:
+                response_bytes += record.wire_bytes
+            else:
+                query_bytes += record.wire_bytes
+        if query_bytes == 0:
+            return None
+        return response_bytes / query_bytes
+
     def summary(self, top: int = 10) -> str:
-        """The busiest channels, one per line."""
+        """The busiest channels, one per line, with byte totals."""
+        byte_totals = self.channel_bytes()
         ranked = sorted(self.channel_counts().items(), key=lambda kv: -kv[1])
         lines = [
-            f"{src:>15s} -> {dst:<15s} {count:8d} msgs"
+            f"{src:>15s} -> {dst:<15s} {count:8d} msgs {byte_totals[(src, dst)]:10d} B"
             for (src, dst), count in ranked[:top]
         ]
+        ratio = self.byte_ratio()
+        if ratio is not None:
+            lines.append(f"response/query byte ratio: {ratio:.2f}")
         if self.dropped:
             lines.append(f"(+{self.dropped} records beyond max_records)")
         return "\n".join(lines)

@@ -89,9 +89,24 @@ class AuthoritativeServer(Node):
             return  # authoritative servers send no queries of their own
         self.stats.queries_received += 1
         self.stats.per_client_queries[src] = self.stats.per_client_queries.get(src, 0) + 1
+        obs = self.obs
+        serve_span = 0
+        if obs.enabled:
+            obs.inc("auth.queries")
+            serve_span = obs.begin(
+                "auth.serve",
+                f"auth:{self.address}",
+                self.now,
+                parent=obs.query_span(message.id),
+                qname=str(message.question.name),
+                src=src,
+            )
 
         if self.ingress_rl is not None and not self.ingress_rl.allow(src, self.now):
             self.stats.rate_limited += 1
+            if obs.enabled:
+                obs.inc("auth.rate_limited")
+                obs.end(serve_span, self.now, outcome="rate_limited")
             action = self.ingress_rl.config.action
             if action == RateLimitAction.DROP:
                 return
@@ -108,6 +123,9 @@ class AuthoritativeServer(Node):
             response = response.truncate()
             self.stats.truncated += 1
         response.via_tcp = message.via_tcp
+        if obs.enabled:
+            obs.observe_size("auth.response_bytes", response.wire_length())
+            obs.end(serve_span, self.now, outcome=response.rcode.name)
         if self.service_delay > 0:
             self.sim.schedule(self.service_delay, self._respond, src, response)
         else:
@@ -117,6 +135,10 @@ class AuthoritativeServer(Node):
         self.stats.responses_sent += 1
         if response.rcode == RCode.NXDOMAIN:
             self.stats.nxdomain_sent += 1
+        if self.obs.enabled:
+            self.obs.inc("auth.responses")
+            if response.rcode == RCode.NXDOMAIN:
+                self.obs.inc("auth.nxdomain")
         self.send(dst, response)
 
     # ------------------------------------------------------------------

@@ -91,6 +91,8 @@ class _PendingForward:
     timer: object = None
     #: when the current attempt went out (for upstream RTT samples)
     sent_at: float = 0.0
+    #: observability span covering the whole client request (0 = none)
+    span: int = 0
 
 
 class Forwarder(Node):
@@ -167,8 +169,20 @@ class Forwarder(Node):
     # ------------------------------------------------------------------
     def _receive_request(self, request: Message, client: str) -> None:
         self.stats.requests_received += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.inc("forwarder.requests")
+            obs.client_query(client, request.wire_length())
         if self.ingress_rl is not None and not self.ingress_rl.allow(client, self.now):
             self.stats.ingress_limited += 1
+            if obs.enabled:
+                obs.inc("forwarder.rate_limited")
+                obs.instant(
+                    "forwarder.rate_limited",
+                    f"forwarder:{self.address}",
+                    self.now,
+                    client=client,
+                )
             if self.ingress_rl.config.action == RateLimitAction.DROP:
                 return
             rcode = (
@@ -185,10 +199,20 @@ class Forwarder(Node):
             if entry.rrset is not None:
                 response.answers.append(entry.rrset)
             self.stats.cache_hit_responses += 1
+            if obs.enabled:
+                obs.inc("forwarder.cache_hits")
             self._respond(client, response)
             return
 
         pending = _PendingForward(client=client, request=request, arrived_at=self.now)
+        if obs.enabled:
+            pending.span = obs.begin(
+                "forward",
+                f"forwarder:{self.address}",
+                self.now,
+                qname=str(request.question.name),
+                client=client,
+            )
         self._forward(pending)
 
     def _pick_upstream(self, pending: _PendingForward) -> str:
@@ -228,9 +252,11 @@ class Forwarder(Node):
                 response = pending.request.make_response(RCode.NOERROR)
                 response.answers.append(stale.rrset)
                 self.stats.stale_responses += 1
+                self.obs.end(pending.span, self.now, outcome="stale")
                 self._respond(pending.client, response)
                 return
         self.stats.servfail_responses += 1
+        self.obs.end(pending.span, self.now, outcome="servfail")
         self._respond(pending.client, pending.request.make_response(RCode.SERVFAIL))
 
     def _forward(self, pending: _PendingForward) -> None:
@@ -262,6 +288,15 @@ class Forwarder(Node):
         query.edns_options.append(attribution.encode())
         pending.upstream_query_id = query.id
         pending.sent_at = self.now
+        if self.obs.enabled:
+            self.obs.inc("forwarder.queries_forwarded")
+            self.obs.instant(
+                "forward.attempt",
+                f"forwarder:{self.address}",
+                self.now,
+                upstream=upstream,
+                attempt=pending.attempts,
+            )
         pending.timer = self.sim.schedule(
             self.health.timeout_for(upstream), self._on_timeout, pending
         )
@@ -284,6 +319,14 @@ class Forwarder(Node):
         if self._pending.pop(pending.upstream_query_id, None) is None:
             return
         self.stats.upstream_timeouts += 1
+        if self.obs.enabled:
+            self.obs.inc("forwarder.upstream_timeouts")
+            self.obs.instant(
+                "forward.timeout",
+                f"forwarder:{self.address}",
+                self.now,
+                upstream=pending.upstream,
+            )
         if pending.upstream is not None:
             self.health.on_failure(pending.upstream, self.now)
         self._forward(pending)
@@ -326,6 +369,10 @@ class Forwarder(Node):
                 answer.question.name, answer.question.rrtype, RCode.NXDOMAIN, 5.0, now
             )
 
+        if self.obs.enabled:
+            self.obs.observe("forwarder.request_latency", self.now - pending.arrived_at)
+            self.obs.end(pending.span, self.now, outcome=answer.rcode.name)
+
         response = pending.request.make_response(answer.rcode)
         response.answers.extend(answer.answers)
         response.authority.extend(answer.authority)
@@ -338,6 +385,8 @@ class Forwarder(Node):
         if self.egress_response_hook is not None:
             response = self.egress_response_hook(response, client)
         self.stats.responses_sent += 1
+        if self.obs.enabled:
+            self.obs.inc("forwarder.responses")
         self.send(client, response)
 
     def pending_request_count(self) -> int:

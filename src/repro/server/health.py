@@ -34,6 +34,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.obs import NULL_OBS
+
 
 class BreakerState(enum.Enum):
     """Circuit-breaker states for one upstream server."""
@@ -324,6 +326,10 @@ class HealthRegistry:
         #: (the owning node usually passes its own stats block)
         self.stats = stats if stats is not None else HealthStats()
         self._servers: Dict[str, UpstreamHealth] = {}
+        #: observability facade + the owning node's track name (set by
+        #: the scenario wiring when a run opts in)
+        self.obs = NULL_OBS
+        self.obs_track = ""
 
     def health(self, server: str) -> UpstreamHealth:
         entry = self._servers.get(server)
@@ -346,11 +352,25 @@ class HealthRegistry:
     # event feeds
     # ------------------------------------------------------------------
     def on_success(self, server: str, rtt: float, now: float, retransmitted: bool = False) -> None:
-        self.health(server).on_success(rtt, now, retransmitted=retransmitted)
+        entry = self.health(server)
+        if self.obs.enabled:
+            was_open = entry.state != BreakerState.CLOSED
+            entry.on_success(rtt, now, retransmitted=retransmitted)
+            if was_open and entry.state == BreakerState.CLOSED:
+                self.obs.inc("health.breaker_closes")
+                self.obs.instant(
+                    "breaker.close", self.obs_track, now, upstream=server
+                )
+            return
+        entry.on_success(rtt, now, retransmitted=retransmitted)
 
     def on_failure(self, server: str, now: float) -> bool:
         """Returns True when this failure opened the server's breaker."""
-        return self.health(server).on_failure(now, self._rng_factory())
+        opened = self.health(server).on_failure(now, self._rng_factory())
+        if opened and self.obs.enabled:
+            self.obs.inc("health.breaker_opens")
+            self.obs.instant("breaker.open", self.obs_track, now, upstream=server)
+        return opened
 
     def on_transmission_timeout(self, server: str) -> None:
         entry = self._servers.get(server)

@@ -35,6 +35,8 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs import NULL_OBS
+
 
 class ShedPolicy(enum.Enum):
     """What a shed client observes."""
@@ -99,6 +101,8 @@ class OverloadController:
         self.config = config or OverloadConfig()
         self.stats = OverloadStats()
         self.shedding = False
+        #: observability facade (counters only: no clock in here)
+        self.obs = NULL_OBS
 
     # ------------------------------------------------------------------
     # state
@@ -108,6 +112,8 @@ class OverloadController:
         if not self.shedding and pending >= self.config.high_watermark:
             self.shedding = True
             self.stats.shed_engagements += 1
+            if self.obs.enabled:
+                self.obs.inc("overload.engagements")
         elif self.shedding and pending <= self.config.low_watermark:
             self.shedding = False
 
@@ -134,9 +140,13 @@ class OverloadController:
         if priority > 0:
             self.stats.shed_requests += 1
             self.stats.shed_suspected += 1
+            if self.obs.enabled:
+                self.obs.inc("overload.shed_suspected")
             return False
         if pending >= self.config.high_watermark:
             self.stats.shed_requests += 1
+            if self.obs.enabled:
+                self.obs.inc("overload.shed_requests")
             return False
         self.stats.band_admissions += 1
         return True

@@ -73,6 +73,7 @@ class _PendingQuery:
         "timer",
         "sent_at",
         "retransmitted",
+        "span",
     )
 
     def __init__(self, qname: Name, qtype: RRType, server: str, message_id: int, retries_left: int) -> None:
@@ -87,6 +88,8 @@ class _PendingQuery:
         #: eventual RTT sample is ambiguous and must not feed the
         #: adaptive estimator
         self.retransmitted = False
+        #: obs span covering this exchange (0 when observability is off)
+        self.span = 0
 
 
 class ResolutionTask:
@@ -108,6 +111,7 @@ class ResolutionTask:
         depth: int = 0,
         root: Optional["ResolutionTask"] = None,
         deadline: Optional[float] = None,
+        span_parent: int = 0,
     ) -> None:
         self.task_id = next(_task_ids)
         self.resolver = resolver
@@ -118,6 +122,16 @@ class ResolutionTask:
         self.depth = depth
         self.root = root or self
         self.finished = False
+        self.span = 0
+        if resolver.obs.enabled:
+            self.span = resolver.obs.begin(
+                "resolve",
+                f"resolver:{resolver.address}",
+                resolver.now,
+                parent=span_parent,
+                qname=str(qname),
+                depth=depth,
+            )
         #: absolute virtual-time budget for the whole task tree (the
         #: client's patience, threaded in by overload admission); only
         #: the root's value is consulted
@@ -156,9 +170,15 @@ class ResolutionTask:
                 self._pending.timer.cancel()
             self.resolver.unregister_query(self._pending.message_id)
             self.resolver.release_server_slot(self._pending.server)
+            if self._pending.span:
+                self.resolver.obs.end(
+                    self._pending.span, self.resolver.now, outcome="cancelled"
+                )
             self._pending = None
         if self.root is self:
             outcome.queries_sent = self.queries_sent
+        if self.span:
+            self.resolver.obs.end(self.span, self.resolver.now, rcode=outcome.rcode.name)
         self.on_done(outcome)
 
     def _fail(self, rcode: RCode = RCode.SERVFAIL) -> None:
@@ -189,7 +209,13 @@ class ResolutionTask:
             if self._pending.timer is not None:
                 self._pending.timer.cancel()
             self.resolver.unregister_query(self._pending.message_id)
+            if self._pending.span:
+                self.resolver.obs.end(
+                    self._pending.span, self.resolver.now, outcome="abandoned"
+                )
             self._pending = None
+        if self.span:
+            self.resolver.obs.end(self.span, self.resolver.now, outcome="abandoned")
         for subtask in self._subtasks:
             subtask.abandon()
 
@@ -306,6 +332,18 @@ class ResolutionTask:
             retries_left=self.resolver.config.max_retries,
         )
         pending.sent_at = self.resolver.now
+        obs = self.resolver.obs
+        if obs.enabled:
+            pending.span = obs.begin(
+                "upstream",
+                f"resolver:{self.resolver.address}",
+                self.resolver.now,
+                parent=self.span,
+                server=server,
+                qname=str(qname),
+            )
+            obs.note_query_span(query.id, pending.span)
+            obs.inc("resolver.queries_sent")
         pending.timer = self.resolver.sim.schedule(
             self.resolver.query_timeout_for(server), self._on_timeout, pending
         )
@@ -333,6 +371,16 @@ class ResolutionTask:
             pending.retries_left -= 1
             pending.message_id = query.id
             pending.retransmitted = True
+            obs = self.resolver.obs
+            if obs.enabled:
+                obs.inc("resolver.upstream_retransmits")
+                obs.instant(
+                    "upstream.retransmit",
+                    f"resolver:{self.resolver.address}",
+                    self.resolver.now,
+                    server=pending.server,
+                )
+                obs.note_query_span(query.id, pending.span)
             pending.timer = self.resolver.sim.schedule(
                 self.resolver.query_timeout_for(pending.server), self._on_timeout, pending
             )
@@ -343,6 +391,11 @@ class ResolutionTask:
         # another; _advance() fails the task if nothing is left.
         self.resolver.release_server_slot(pending.server)
         self.resolver.note_server_timeout(pending.server)
+        obs = self.resolver.obs
+        if obs.enabled:
+            obs.inc("resolver.upstream_timeouts")
+            obs.end(pending.span, self.resolver.now, outcome="timeout")
+            obs.forget_query_span(pending.message_id)
         self._tried_servers.add(pending.server)
         self._pending = None
         if len(self._tried_servers) >= self.resolver.config.max_servers_per_step:
@@ -374,6 +427,16 @@ class ResolutionTask:
             self.resolver.now - pending.sent_at,
             retransmitted=pending.retransmitted,
         )
+        obs = self.resolver.obs
+        if obs.enabled:
+            obs.observe("resolver.upstream_rtt", self.resolver.now - pending.sent_at)
+            obs.end(
+                pending.span,
+                self.resolver.now,
+                outcome="answered",
+                rcode=response.rcode.name,
+            )
+            obs.forget_query_span(response.id)
         self._process_response(response, pending)
 
     # ------------------------------------------------------------------
@@ -554,6 +617,7 @@ class ResolutionTask:
                 on_done=self._on_ns_address,
                 depth=self.depth + 1,
                 root=self.root,
+                span_parent=self.span,
             )
             self._subtasks.append(subtask)
             self.resolver.stats.ns_fanout_subtasks += 1

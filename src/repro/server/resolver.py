@@ -157,6 +157,9 @@ class _PendingRequest:
     request: Message
     arrived_at: float
     task: Optional[ResolutionTask] = None
+    #: obs span handles (0 when observability is off)
+    span: int = 0
+    client_span: int = 0
 
 
 class RecursiveResolver(Node):
@@ -317,9 +320,17 @@ class RecursiveResolver(Node):
     # ------------------------------------------------------------------
     def _receive_request(self, request: Message, client: str) -> None:
         self.stats.requests_received += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.inc("resolver.requests")
+            obs.client_query(client, request.wire_length())
 
         if self.ingress_rl is not None and not self.ingress_rl.allow(client, self.now):
             self.stats.ingress_limited += 1
+            if obs.enabled:
+                obs.instant(
+                    "resolver.rate_limited", f"resolver:{self.address}", self.now, client=client
+                )
             action = self.ingress_rl.config.action
             if action == RateLimitAction.DROP:
                 return
@@ -330,10 +341,27 @@ class RecursiveResolver(Node):
         qname = request.question.name
         qtype = request.question.rrtype
 
+        # Root of the per-query span tree: one "query" span on the
+        # client's track, one "request" span on the resolver's.  All
+        # downstream work (resolution tasks, upstream queries, MOPI-FQ
+        # waits, authoritative serves) hangs off these two.
+        client_span = 0
+        request_span = 0
+        if obs.enabled:
+            client_span = obs.begin(
+                "query", f"client:{client}", self.now, qname=str(qname), qtype=qtype.name
+            )
+            request_span = obs.begin(
+                "request", f"resolver:{self.address}", self.now, parent=client_span
+            )
+
         # Aggressive denial (RFC 8198): a cached NSEC range proves the
         # name does not exist; answer locally, starving NX floods.
         if self.config.aggressive_nsec and self.cache.covered_by_denial(qname, self.now):
             self.stats.aggressive_nsec_responses += 1
+            if obs.enabled:
+                obs.end(request_span, self.now, outcome="nsec_denial")
+                obs.end(client_span, self.now, outcome="nsec_denial")
             self._respond(client, request.make_response(RCode.NXDOMAIN))
             return
 
@@ -344,11 +372,18 @@ class RecursiveResolver(Node):
             if entry.rrset is not None:
                 response.answers.append(entry.rrset)
             self.stats.cache_hit_responses += 1
+            if obs.enabled:
+                obs.inc("resolver.cache_hits")
+                obs.end(request_span, self.now, outcome="cache_hit")
+                obs.end(client_span, self.now, outcome="cache_hit")
             self._respond(client, response)
             return
         # (A cached CNAME still requires chasing the target -> full path.)
         key = (client, request.id, qname)
         if key in self._pending_requests:
+            if obs.enabled:
+                obs.end(request_span, self.now, outcome="duplicate")
+                obs.end(client_span, self.now, outcome="duplicate")
             return  # duplicate in-flight request from the same client
 
         deadline: Optional[float] = None
@@ -368,6 +403,9 @@ class RecursiveResolver(Node):
                     response = request.make_response(RCode.NOERROR)
                     response.answers.append(stale.rrset)
                     self.stats.stale_fastpath_responses += 1
+                    if obs.enabled:
+                        obs.end(request_span, self.now, outcome="stale_fastpath")
+                        obs.end(client_span, self.now, outcome="stale_fastpath")
                     self._respond(client, response)
                     return
             priority = self.suspicion_probe(client) if self.suspicion_probe else 0
@@ -375,6 +413,16 @@ class RecursiveResolver(Node):
                 self.stats.shed_requests += 1
                 if priority > 0:
                     self.stats.shed_suspected += 1
+                if obs.enabled:
+                    obs.instant(
+                        "overload.shed",
+                        f"resolver:{self.address}",
+                        self.now,
+                        client=client,
+                        priority=priority,
+                    )
+                    obs.end(request_span, self.now, outcome="shed")
+                    obs.end(client_span, self.now, outcome="shed")
                 if self.overload.config.shed_policy is ShedPolicy.SERVFAIL:
                     self.stats.servfail_responses += 1
                     self._respond(client, request.make_response(RCode.SERVFAIL))
@@ -382,6 +430,8 @@ class RecursiveResolver(Node):
             deadline = self.overload.deadline_for(self.now)
 
         pending = _PendingRequest(client=client, request=request, arrived_at=self.now)
+        pending.span = request_span
+        pending.client_span = client_span
         self._pending_requests[key] = pending
 
         attribution = ClientAttribution(client=client, port=0, request_id=request.id)
@@ -392,6 +442,7 @@ class RecursiveResolver(Node):
             attribution,
             on_done=lambda outcome: self._complete_request(key, outcome),
             deadline=deadline,
+            span_parent=request_span,
         )
         pending.task = task
         if self.config.processing_delay > 0:
@@ -403,6 +454,10 @@ class RecursiveResolver(Node):
         pending = self._pending_requests.pop(key, None)
         if pending is None:
             return
+        if self.obs.enabled:
+            self.obs.observe("resolver.request_latency", self.now - pending.arrived_at)
+            self.obs.end(pending.span, self.now, outcome=outcome.rcode.name)
+            self.obs.end(pending.client_span, self.now, outcome=outcome.rcode.name)
         if outcome.rcode == RCode.SERVFAIL and self.config.serve_stale_window > 0:
             stale = self.cache.get_stale(
                 pending.request.question.name, pending.request.question.rrtype, self.now
@@ -424,6 +479,10 @@ class RecursiveResolver(Node):
         if self.egress_response_hook is not None:
             response = self.egress_response_hook(response, client)
         self.stats.responses_sent += 1
+        if self.obs.enabled:
+            self.obs.inc("resolver.responses")
+            if response.rcode == RCode.NXDOMAIN:
+                self.obs.client_nxdomain(client)
         self.send(client, response)
 
     def pending_request_count(self) -> int:

@@ -1,0 +1,151 @@
+"""Metrics registry: bucket edges, grid sampling, instrument semantics."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BOUNDS,
+    DEFAULT_TIME_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    log_bounds,
+)
+
+
+# ----------------------------------------------------------------------
+# log-spaced bounds
+# ----------------------------------------------------------------------
+
+def test_log_bounds_shape():
+    bounds = log_bounds(1e-3, 1.0, per_decade=4)
+    assert bounds[0] == 1e-3
+    assert bounds[-1] >= 1.0
+    assert list(bounds) == sorted(bounds)
+    # ends at the first bound reaching hi, and not a bound later
+    assert bounds[-2] < 1.0 <= bounds[-1]
+
+
+def test_log_bounds_bit_identical_prefix():
+    """Edges come from integer exponents, so a longer range shares the
+    shorter range's prefix exactly (no cumulative drift)."""
+    short = log_bounds(1e-3, 1.0)
+    long = log_bounds(1e-3, 1e3)
+    assert long[: len(short)] == short
+
+
+def test_log_bounds_rejects_bad_range():
+    with pytest.raises(ValueError):
+        log_bounds(0.0, 1.0)
+    with pytest.raises(ValueError):
+        log_bounds(1.0, 1.0)
+
+
+def test_default_bounds_cover_declared_ranges():
+    assert DEFAULT_TIME_BOUNDS[0] == 1e-5
+    assert DEFAULT_TIME_BOUNDS[-1] >= 100.0
+    assert DEFAULT_SIZE_BOUNDS[0] == 16.0
+    assert DEFAULT_SIZE_BOUNDS[-1] >= 65536.0
+
+
+# ----------------------------------------------------------------------
+# histogram bucket edges
+# ----------------------------------------------------------------------
+
+def test_histogram_upper_edges_are_inclusive():
+    hist = Histogram("h", bounds=(1.0, 10.0, 100.0))
+    hist.observe(1.0)        # exactly on edge 0 -> bucket 0
+    hist.observe(1.0000001)  # just past edge 0 -> bucket 1
+    hist.observe(10.0)       # exactly on edge 1 -> bucket 1
+    hist.observe(100.0)      # exactly on last edge -> bucket 2
+    hist.observe(100.1)      # beyond last edge -> overflow
+    assert hist.buckets == [1, 2, 1, 1]
+    assert hist.count == 5
+
+
+def test_histogram_below_first_edge_lands_in_first_bucket():
+    hist = Histogram("h", bounds=(1.0, 10.0))
+    hist.observe(0.0)
+    hist.observe(-5.0)
+    assert hist.buckets == [2, 0, 0]
+
+
+def test_histogram_quantiles_and_mean():
+    hist = Histogram("h", bounds=(1.0, 2.0, 4.0, 8.0))
+    for value in [0.5, 1.5, 1.5, 3.0]:
+        hist.observe(value)
+    assert hist.mean() == pytest.approx(6.5 / 4)
+    assert hist.quantile(0.25) == 1.0   # first observation's bucket edge
+    assert hist.quantile(0.5) == 2.0
+    assert hist.quantile(1.0) == 4.0
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_histogram_quantile_overflow_reports_last_finite_bound():
+    hist = Histogram("h", bounds=(1.0, 2.0))
+    hist.observe(99.0)
+    assert hist.quantile(0.5) == 2.0
+
+
+def test_empty_histogram():
+    hist = Histogram("h")
+    assert hist.quantile(0.5) == 0.0
+    assert hist.mean() == 0.0
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+def test_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    assert reg.gauge("g") is reg.gauge("g")
+    assert reg.histogram("h") is reg.histogram("h")
+
+
+def test_name_cannot_span_instrument_kinds():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.gauge("x")
+    with pytest.raises(ValueError):
+        reg.histogram("x")
+
+
+def test_views_are_sorted():
+    reg = MetricsRegistry()
+    reg.counter("zeta").inc()
+    reg.counter("alpha").inc(2)
+    assert list(reg.counters()) == ["alpha", "zeta"]
+    assert reg.counters()["alpha"] == 2.0
+
+
+def test_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        MetricsRegistry(sample_interval=0.0)
+
+
+# ----------------------------------------------------------------------
+# grid sampling
+# ----------------------------------------------------------------------
+
+def test_sampling_grid_emits_each_tick_once():
+    reg = MetricsRegistry(sample_interval=1.0)
+    counter = reg.counter("c")
+    reg.on_advance(0.0)    # tick 0
+    counter.inc()
+    reg.on_advance(0.5)    # no new tick
+    reg.on_advance(1.0)    # tick 1
+    counter.inc()
+    reg.on_advance(1.0)    # same instant: no duplicate
+    times = [(s.time, s.value) for s in reg.samples if s.name == "c"]
+    assert times == [(0.0, 0.0), (1.0, 1.0)]
+
+
+def test_sampling_gap_emits_all_spanned_ticks():
+    reg = MetricsRegistry(sample_interval=1.0)
+    reg.gauge("g").set(7.0)
+    reg.on_advance(3.5)  # ticks 0,1,2,3 at once
+    times = [s.time for s in reg.samples if s.name == "g"]
+    assert times == [0.0, 1.0, 2.0, 3.0]
+    assert all(s.value == 7.0 for s in reg.samples)

@@ -39,6 +39,7 @@ SIM_PURE_FRAGMENTS: Tuple[str, ...] = (
     "repro/server",
     "repro/dnscore",
     "repro/util",
+    "repro/obs",
 )
 
 #: paths allowed to print (drivers and entry points)
