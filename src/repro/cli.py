@@ -14,6 +14,7 @@ regenerated without writing Python:
     python -m repro resilience --scale 0.25  # vanilla vs hardened resolver
     python -m repro selfcheck            # determinism proof (SimSan on)
     python -m repro obs --scale 0.15     # observed run, exports traces
+    python -m repro fuzz --seed 42 --iterations 25  # scenario fuzzing
     python -m repro all --scale 0.1      # everything, quick settings
 """
 
@@ -108,9 +109,85 @@ def _build_parser() -> argparse.ArgumentParser:
     resilience.add_argument("--out", type=str, default=None,
                             help="also write the report to this file")
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="property-based scenario fuzzing with invariant oracles "
+        "(deterministic: same seed -> same verdict log and digest)",
+    )
+    fuzz.add_argument("--seed", type=int, default=42, help="master seed")
+    fuzz.add_argument("--iterations", type=int, default=25,
+                      help="scenario draws to run")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      help="stop after this many wall-clock seconds "
+                      "(may end before --iterations)")
+    fuzz.add_argument("--log", type=str, default=None,
+                      help="write the JSONL verdict log to this file")
+    fuzz.add_argument("--corpus-dir", type=str, default="results/fuzz-corpus",
+                      help="directory for shrunk counterexamples "
+                      "(curate into tests/regressions/ by hand)")
+    fuzz.add_argument("--shrink-budget", type=int, default=150,
+                      help="max scenario re-runs per minimisation")
+    fuzz.add_argument("--inject-bug", type=str, default=None,
+                      choices=["dangling-glueless"],
+                      help="re-introduce a known-fixed defect "
+                      "(fuzzer self-test / corpus regeneration)")
+    fuzz.add_argument("--replay", type=str, default=None, metavar="FILE",
+                      help="re-run one counterexample file and exit")
+    fuzz.add_argument("--replay-with-bug", action="store_true",
+                      help="honor the file's recorded bug injection on replay")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress the live verdict-log tail")
+
     everything = sub.add_parser("all", help="run every experiment (quick settings)")
     everything.add_argument("--scale", type=float, default=0.1)
     return parser
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.fuzz import corpus as fuzz_corpus
+    from repro.fuzz.engine import fuzz as run_fuzz
+
+    if args.replay is not None:
+        scenario, _, violations = fuzz_corpus.replay(
+            args.replay, honor_injection=args.replay_with_bug
+        )
+        print(f"replayed {scenario.scenario_id}: {scenario.describe()}")
+        if violations:
+            for violation in violations:
+                print(f"  VIOLATION [{violation.oracle}] {violation.detail}")
+            return 1
+        print("  ok: all oracles pass")
+        return 0
+
+    def on_line(line: str) -> None:
+        if not args.quiet:
+            print(line)
+
+    report = run_fuzz(
+        master_seed=args.seed,
+        iterations=args.iterations,
+        inject_bug=args.inject_bug,
+        shrink_budget=args.shrink_budget,
+        corpus_dir=args.corpus_dir,
+        clock=time.monotonic if args.time_budget is not None else None,
+        time_budget=args.time_budget,
+        on_line=on_line,
+    )
+    if args.log:
+        with open(args.log, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(report.log_lines) + "\n")
+    print(
+        f"fuzz: {report.iterations_run} iteration(s), "
+        f"{len(report.counterexamples)} counterexample(s), "
+        f"stopped by {report.stopped_by}, digest {report.digest}"
+    )
+    for ce in report.counterexamples:
+        oracles = ",".join(sorted({v.oracle for v in ce.violations}))
+        where = ce.path or ce.scenario.scenario_id
+        print(f"  {where}: [{oracles}] size {ce.original_size} -> {ce.scenario.size()}")
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -168,6 +245,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments import resilience_matrix
 
         return resilience_matrix.main(scale=args.scale, seed=args.seed, out=args.out)
+    elif args.command == "fuzz":
+        return _cmd_fuzz(args)
     elif args.command == "all":
         from repro.experiments import (
             chaos_resilience,

@@ -182,6 +182,11 @@ class Zone:
     def owners(self) -> Iterator[Name]:
         return iter(self._nodes)
 
+    def rrsets_at(self, name: NameLike) -> Dict[RRType, RRSet]:
+        """All RRsets at one owner (empty dict when the owner has none);
+        the zone-graph validator's raw view of a node."""
+        return dict(self._nodes.get(self._absolute(name), {}))
+
     def __contains__(self, name: NameLike) -> bool:
         return self.node_exists(self._absolute(name))
 

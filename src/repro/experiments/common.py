@@ -135,6 +135,31 @@ class ScenarioConfig:
     #: zero-overhead default; see docs/OBSERVABILITY.md)
     obs: Optional[ObsConfig] = None
 
+    # -- round-trip serialization (fuzz counterexamples, saved sweeps) --
+    def to_dict(self) -> Dict:
+        """JSON-safe form; raises on callable fields (``share_of``,
+        ``scheduler_factory``, ``policy_templates``), which cannot ride
+        in a checked-in counterexample."""
+        from repro.fuzz.serialize import encode_dataclass, require_serializable
+
+        require_serializable(
+            self,
+            {
+                "scheduler_factory": self.scheduler_factory,
+                "share_of": self.share_of,
+                "policy_templates": self.policy_templates,
+            },
+        )
+        return encode_dataclass(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioConfig":
+        """Rebuild a config (enums, nested resolver/monitor/health/
+        overload dataclasses included) bit-for-bit from :meth:`to_dict`."""
+        from repro.fuzz.serialize import decode_dataclass
+
+        return decode_dataclass(cls, data)
+
 
 @dataclass
 class ScenarioResult:

@@ -1,0 +1,29 @@
+"""Property-based scenario fuzzing with invariant oracles.
+
+Self-contained (seeded-PRNG, no external fuzzing dependency) engine
+that draws random DNS attack/defense scenarios, runs them through the
+simulator with SimSan armed, checks invariant oracles, greedily shrinks
+any violation, and maintains a replayable JSON regression corpus.
+
+Entry points: :func:`repro.fuzz.engine.fuzz` (the loop),
+:func:`repro.fuzz.runner.run_scenario` (one scenario),
+:func:`repro.fuzz.corpus.replay` (one corpus file), and the
+``repro fuzz`` CLI subcommand.
+"""
+
+from repro.fuzz.engine import FuzzReport, fuzz, observation_digest
+from repro.fuzz.oracles import ALL_ORACLES, Violation, check_all
+from repro.fuzz.runner import FuzzObservations, run_scenario
+from repro.fuzz.scenario import FuzzScenario
+
+__all__ = [
+    "ALL_ORACLES",
+    "FuzzObservations",
+    "FuzzReport",
+    "FuzzScenario",
+    "Violation",
+    "check_all",
+    "fuzz",
+    "observation_digest",
+    "run_scenario",
+]

@@ -1,0 +1,198 @@
+"""The fuzz loop: draw, run, judge, shrink, record.
+
+:func:`fuzz` is deliberately free of wall-clock reads and global
+randomness (it lives in a sim-pure fragment): per-iteration sub-seeds
+come from SHA-256 over the master seed, and the optional time budget
+uses an *injected* clock callable supplied by the CLI.  Consequently
+``fuzz(master_seed=S, iterations=N)`` produces a byte-identical verdict
+log -- and therefore an identical digest -- on every machine, which is
+what makes a CI fuzz-smoke job meaningfully diffable.
+
+The verdict log is JSON Lines, one record per iteration plus one per
+shrink, finished by a summary record carrying the log digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.fuzz.corpus import counterexample_record, save_counterexample
+from repro.fuzz.generate import derive_seed, generate_scenario, scenario_for
+from repro.fuzz.oracles import Violation, check_all
+from repro.fuzz.runner import FuzzObservations, run_scenario
+from repro.fuzz.scenario import FuzzScenario
+from repro.fuzz.shrink import DEFAULT_BUDGET, shrink
+
+
+def observation_digest(obs: FuzzObservations) -> str:
+    """Deterministic fingerprint of one run's observable behaviour."""
+    payload = json.dumps(obs.digest_fields(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Counterexample:
+    """One violation the engine found, after minimisation."""
+
+    iteration: int
+    sub_seed: int
+    scenario: FuzzScenario
+    violations: List[Violation]
+    shrink_runs: int
+    original_size: int
+    path: Optional[str] = None
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one engine invocation."""
+
+    master_seed: int
+    iterations_requested: int
+    iterations_run: int = 0
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    log_lines: List[str] = field(default_factory=list)
+    stopped_by: str = "iterations"  # or "time-budget"
+    #: SHA-256 over the verdict log up to (excluding) the summary line,
+    #: which itself carries this value (the determinism contract)
+    digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+    def seal(self) -> None:
+        """Fix the digest over the lines emitted so far."""
+        payload = "\n".join(self.log_lines) + "\n" if self.log_lines else ""
+        self.digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def summary_line(self) -> str:
+        return json.dumps(
+            {
+                "event": "summary",
+                "master_seed": self.master_seed,
+                "iterations": self.iterations_run,
+                "counterexamples": len(self.counterexamples),
+                "stopped_by": self.stopped_by,
+                "digest": self.digest,
+            },
+            sort_keys=True,
+        )
+
+
+def fuzz(
+    master_seed: int,
+    iterations: int,
+    inject_bug: Optional[str] = None,
+    shrink_budget: int = DEFAULT_BUDGET,
+    corpus_dir: Optional[str] = None,
+    clock: Optional[Callable[[], float]] = None,
+    time_budget: Optional[float] = None,
+    on_line: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run up to ``iterations`` scenario draws from ``master_seed``.
+
+    ``clock``/``time_budget`` bound wall time without the engine ever
+    reading a clock itself; ``on_line`` streams verdict-log lines as
+    they are produced (the CLI's live tail).
+    """
+    report = FuzzReport(master_seed=master_seed, iterations_requested=iterations)
+    started = clock() if clock is not None and time_budget is not None else None
+
+    def emit(record: Dict) -> None:
+        line = json.dumps(record, sort_keys=True)
+        report.log_lines.append(line)
+        if on_line is not None:
+            on_line(line)
+
+    for iteration in range(iterations):
+        if started is not None and clock() - started >= time_budget:
+            report.stopped_by = "time-budget"
+            break
+        sub_seed = derive_seed(master_seed, iteration)
+        scenario = scenario_for(master_seed, iteration)
+        observations = run_scenario(scenario, inject_bug=inject_bug)
+        violations = check_all(scenario, observations)
+        report.iterations_run = iteration + 1
+        emit(
+            {
+                "event": "run",
+                "iteration": iteration,
+                "sub_seed": sub_seed,
+                "scenario_id": scenario.scenario_id,
+                "scenario": scenario.describe(),
+                "size": scenario.size(),
+                "verdict": "violation" if violations else "ok",
+                "oracles": sorted({v.oracle for v in violations}),
+                "digest": observation_digest(observations),
+            }
+        )
+        if not violations:
+            continue
+        counterexample = _minimise(
+            scenario, violations, iteration, sub_seed, inject_bug, shrink_budget
+        )
+        if corpus_dir is not None:
+            record = counterexample_record(
+                counterexample.scenario,
+                counterexample.violations,
+                master_seed=master_seed,
+                iteration=iteration,
+                injected_bug=inject_bug,
+            )
+            counterexample.path = save_counterexample(corpus_dir, record)
+        report.counterexamples.append(counterexample)
+        emit(
+            {
+                "event": "shrunk",
+                "iteration": iteration,
+                "scenario_id": counterexample.scenario.scenario_id,
+                "scenario": counterexample.scenario.describe(),
+                "size_before": counterexample.original_size,
+                "size_after": counterexample.scenario.size(),
+                "shrink_runs": counterexample.shrink_runs,
+                "oracles": sorted({v.oracle for v in counterexample.violations}),
+            }
+        )
+    report.seal()
+    emit(json.loads(report.summary_line()))
+    return report
+
+
+def _minimise(
+    scenario: FuzzScenario,
+    violations: List[Violation],
+    iteration: int,
+    sub_seed: int,
+    inject_bug: Optional[str],
+    shrink_budget: int,
+) -> Counterexample:
+    target_oracles = {v.oracle for v in violations}
+
+    def run_fn(candidate: FuzzScenario) -> List[Violation]:
+        observations = run_scenario(candidate, inject_bug=inject_bug)
+        return check_all(candidate, observations)
+
+    shrunk, shrunk_violations, runs = shrink(
+        scenario, run_fn, target_oracles, budget=shrink_budget
+    )
+    return Counterexample(
+        iteration=iteration,
+        sub_seed=sub_seed,
+        scenario=shrunk,
+        violations=shrunk_violations or violations,
+        shrink_runs=runs,
+        original_size=scenario.size(),
+    )
+
+
+__all__ = [
+    "Counterexample",
+    "FuzzReport",
+    "fuzz",
+    "generate_scenario",
+    "observation_digest",
+]

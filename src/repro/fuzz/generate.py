@@ -1,0 +1,169 @@
+"""Random scenario generation from a seeded PRNG (no hypothesis dep).
+
+Every draw comes from one injected ``random.Random``, so a scenario is
+a pure function of its seed: ``generate_scenario(Random(s))`` yields
+the same :class:`~repro.fuzz.scenario.FuzzScenario` on every machine,
+which is what makes the engine's verdict log and digest reproducible.
+
+The distributions are tuned for *coverage per second of wall clock*:
+scenarios stay small (a few virtual seconds, tens-of-QPS clients) but
+cross the axes that historically interact -- adversary strategy x
+glueless delegations x fault schedules x health/overload/serve-stale
+config -- because composed-regime bugs are what the figure scenarios
+miss (cf. Rizvi et al.'s layered-defense evaluation in PAPERS.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.netsim.faults import FaultSpec, LinkDegradation, NodeOutage, Partition
+from repro.workloads.zonegen import graph_server_addr, random_zone_specs
+
+from repro.fuzz.scenario import (
+    AdversarySpec,
+    BenignClientSpec,
+    DccKnobs,
+    FuzzScenario,
+    ResolverKnobs,
+)
+
+#: the fuzz topology's fixed resolver address (clients aim here)
+RESOLVER_ADDR = "10.0.41.1"
+
+
+def generate_scenario(rng: random.Random, seed: int = 0) -> FuzzScenario:
+    """Draw one scenario; ``seed`` is recorded for provenance only."""
+    duration = rng.choice((6.0, 8.0, 10.0))
+    zones = random_zone_specs(rng, max_zones=3, max_depth=2)
+    zone_origins = [spec.origin for spec in zones]
+
+    clients: List[BenignClientSpec] = []
+    for i in range(rng.randint(1, 3)):
+        zone = rng.choice(zone_origins)
+        clients.append(
+            BenignClientSpec(
+                name=f"benign{i}",
+                zone=zone,
+                rate=rng.choice((10.0, 20.0, 40.0)),
+                start=0.0,
+                stop=duration,
+                pool_size=rng.randint(2, 6),
+            )
+        )
+
+    adversary = _draw_adversary(rng, zone_origins, duration)
+    resolver = ResolverKnobs(
+        health_mode=rng.choice(("legacy", "adaptive")),
+        serve_stale_window=rng.choice((0.0, 0.0, 10.0, 30.0)),
+        overload=rng.random() < 0.4,
+        high_watermark=rng.choice((64, 128)),
+        low_watermark=32,
+        qname_minimization=rng.random() < 0.3,
+        failure_threshold=rng.choice((3, 5)),
+    )
+    dcc = DccKnobs(
+        enabled=rng.random() < 0.6,
+        signaling=rng.random() < 0.7,
+        channel_capacity=rng.choice((150.0, 300.0)),
+    )
+    faults = _draw_faults(rng, zones_count=len(zones), duration=duration)
+
+    return FuzzScenario(
+        seed=seed,
+        duration=duration,
+        zones=zones,
+        clients=clients,
+        adversary=adversary,
+        faults=faults,
+        resolver=resolver,
+        dcc=dcc,
+        client_timeout=1.5,
+        client_attempts=rng.choice((1, 1, 2)),
+    )
+
+
+def _draw_adversary(
+    rng: random.Random, zone_origins: List[str], duration: float
+) -> AdversarySpec:
+    strategy = rng.choice(("none", "nx", "nx", "wc", "wc", "chain", "ff"))
+    if strategy == "none":
+        return AdversarySpec(strategy="none")
+    zone = rng.choice(zone_origins)
+    rate = rng.choice((100.0, 200.0, 400.0))
+    if strategy == "ff":
+        # Amplification multiplies at the channel; keep the base rate low.
+        rate = rng.choice((10.0, 20.0))
+    return AdversarySpec(
+        strategy=strategy,
+        zone=zone,
+        rate=rate,
+        start=rng.choice((1.0, 2.0)),
+        stop=duration,
+        ff_fanout=rng.choice((3, 4)),
+        ff_instances=rng.choice((8, 16)),
+    )
+
+
+def _draw_faults(
+    rng: random.Random, zones_count: int, duration: float
+) -> List[FaultSpec]:
+    """A short schedule against the *authoritative* side only.
+
+    The resolver is deliberately never crashed: its probes (stale,
+    breaker transitions) live in process memory, and the oracles want
+    one continuous observation of it.  Authoritative outages and lossy
+    channels are exactly the regime the health layer exists for.
+    """
+    faults: List[FaultSpec] = []
+    if rng.random() < 0.55:
+        return faults
+    victim = graph_server_addr(rng.randrange(max(1, zones_count)))
+    kind = rng.random()
+    start = rng.uniform(1.0, duration * 0.4)
+    if kind < 0.4:
+        faults.append(
+            NodeOutage(
+                address=victim,
+                at=round(start, 3),
+                duration=round(rng.uniform(1.0, duration * 0.4), 3),
+                flaps=rng.choice((1, 1, 2)),
+            )
+        )
+    elif kind < 0.75:
+        faults.append(
+            LinkDegradation(
+                src=RESOLVER_ADDR,
+                dst=victim,
+                start=round(start, 3),
+                end=round(start + rng.uniform(1.0, duration * 0.5), 3),
+                loss=round(rng.uniform(0.2, 0.9), 3),
+                latency=round(rng.uniform(0.0, 0.05), 3),
+                ramp=rng.choice((0.0, 0.5)),
+            )
+        )
+    else:
+        faults.append(
+            Partition(
+                a=RESOLVER_ADDR,
+                b=victim,
+                start=round(start, 3),
+                end=round(start + rng.uniform(0.5, duration * 0.4), 3),
+            )
+        )
+    return faults
+
+
+def derive_seed(master_seed: int, iteration: int) -> int:
+    """Stable per-iteration sub-seed (independent of Python's hash)."""
+    import hashlib
+
+    digest = hashlib.sha256(f"{master_seed}:{iteration}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def scenario_for(master_seed: int, iteration: int) -> FuzzScenario:
+    """The engine's draw: scenario #``iteration`` of stream ``master_seed``."""
+    sub_seed = derive_seed(master_seed, iteration)
+    return generate_scenario(random.Random(sub_seed), seed=sub_seed)

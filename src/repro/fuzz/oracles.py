@@ -1,0 +1,271 @@
+"""Invariant oracles: what must hold on *every* scenario draw.
+
+Each oracle inspects one :class:`~repro.fuzz.runner.FuzzObservations`
+against its scenario and yields human-readable violation strings.  The
+set encodes the properties the paper's design arguments rest on:
+
+- **no-crash / conservation** -- the simulation itself must not fault,
+  and MOPI-FQ's structural invariants (query conservation, occupancy
+  bounds; SimSan's checks) must hold under every strategy mix;
+- **termination** -- every request resolves, times out, or is refused;
+  nothing is pending after the drain window and no runaway event loop
+  hits the cap (Section 4's liveness argument);
+- **reachability** -- with no adversary and no faults, a valid zone
+  graph serves benign clients (catches generator/builder defects such
+  as the dangling-glueless bug the regression corpus pins);
+- **bounded collateral damage** -- DCC's headline claim: benign service
+  survives any single-adversary strategy at bounded loss when channels
+  are DCC-scheduled and the infrastructure is healthy (Section 5);
+- **serve-stale window** -- RFC 8767: no answer is served more than
+  ``serve_stale_window`` seconds past expiry, and none at all when the
+  window is zero;
+- **breaker legality** -- circuit breakers only take edges their mode's
+  state machine defines, in non-decreasing time order.
+
+Thresholded oracles (reachability, collateral) deliberately sit well
+below healthy-run observations, so they fire on mechanism failures,
+not on unlucky-but-correct scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.fuzz.runner import FuzzObservations
+from repro.fuzz.scenario import FuzzScenario
+
+#: float slack on the stale-age comparison (virtual clocks are exact,
+#: but ages are differences of floats)
+STALE_EPSILON = 1e-6
+
+#: reachability: minimum benign success in a clean window
+REACHABILITY_FLOOR = 0.7
+#: collateral damage: minimum benign success under attack w/ DCC
+COLLATERAL_FLOOR = 0.5
+#: windows shorter than this can't support a stable ratio
+MIN_WINDOW = 1.0
+
+#: legal breaker edges per health mode (old -> new, by enum value)
+LEGAL_TRANSITIONS = {
+    "legacy": {
+        ("closed", "open"),
+        ("open", "open"),  # re-trip extends the hold-down
+        ("open", "closed"),
+    },
+    "adaptive": {
+        ("closed", "open"),
+        ("open", "half-open"),
+        ("half-open", "closed"),
+        ("half-open", "open"),
+    },
+}
+
+
+@dataclass
+class Violation:
+    """One oracle failure on one run."""
+
+    oracle: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"oracle": self.oracle, "detail": self.detail}
+
+
+class Oracle:
+    name = "oracle"
+
+    def applies(self, scenario: FuzzScenario, obs: FuzzObservations) -> bool:
+        return True
+
+    def check(self, scenario: FuzzScenario, obs: FuzzObservations) -> List[str]:
+        raise NotImplementedError
+
+
+class NoCrashOracle(Oracle):
+    """The harness must never see an exception escape the simulation."""
+
+    name = "no-crash"
+
+    def check(self, scenario, obs):
+        return [] if obs.crash is None else [obs.crash]
+
+
+class ConservationOracle(Oracle):
+    """SimSan (heap/token/occupancy checks) and MOPI-FQ's structural
+    invariants hold for the whole run."""
+
+    name = "conservation"
+
+    def check(self, scenario, obs):
+        return [f"simsan: {v}" for v in obs.simsan_violations] + [
+            f"scheduler: {v}" for v in obs.scheduler_errors
+        ]
+
+
+class TerminationOracle(Oracle):
+    """Every request reaches a verdict; no runaway event loops."""
+
+    name = "termination"
+
+    def check(self, scenario, obs):
+        out: List[str] = []
+        if obs.event_cap_hit:
+            out.append(
+                f"event cap hit ({obs.events_processed} >= {obs.event_cap}): "
+                "runaway scheduling loop"
+            )
+        if obs.resolver_pending_after_drain:
+            out.append(
+                f"{obs.resolver_pending_after_drain} resolver request(s) still "
+                "pending after the drain window"
+            )
+        for client in obs.clients:
+            if client.pending_after_drain:
+                out.append(
+                    f"client {client.name}: {client.pending_after_drain} "
+                    "request(s) never timed out or completed"
+                )
+        return out
+
+
+def _clean_window(scenario: FuzzScenario, spec) -> Tuple[float, float]:
+    stop = min(spec.stop, scenario.duration)
+    if scenario.adversary.strategy == "none":
+        return spec.start, stop
+    return spec.start, min(scenario.adversary.start, stop)
+
+
+class ReachabilityOracle(Oracle):
+    """A fault-free, pre/zero-adversary window must serve benign
+    clients: a valid generated graph is resolvable by construction."""
+
+    name = "reachability"
+
+    def applies(self, scenario, obs):
+        return not scenario.faults and obs.crash is None
+
+    def check(self, scenario, obs):
+        out: List[str] = []
+        outcomes = {c.name: c for c in obs.clients}
+        for spec in scenario.clients:
+            start, until = _clean_window(scenario, spec)
+            if until - start < MIN_WINDOW or spec.rate < 2.0:
+                continue
+            outcome = outcomes.get(spec.name)
+            if outcome is None or outcome.requests == 0:
+                continue
+            if outcome.clean_ratio < REACHABILITY_FLOOR:
+                out.append(
+                    f"client {spec.name} on zone {spec.zone}: clean-window "
+                    f"success {outcome.clean_ratio:.2f} < {REACHABILITY_FLOOR} "
+                    f"(window [{start:g},{until:g}), no adversary, no faults)"
+                )
+        return out
+
+
+class CollateralOracle(Oracle):
+    """DCC's bounded-collateral-damage claim, checked per strategy:
+    with DCC scheduling the channels and no infrastructure faults, a
+    single adversary cannot collapse benign service."""
+
+    name = "collateral"
+
+    def applies(self, scenario, obs):
+        return (
+            scenario.dcc.enabled
+            and scenario.adversary.strategy != "none"
+            and not scenario.faults
+            and obs.crash is None
+        )
+
+    def check(self, scenario, obs):
+        out: List[str] = []
+        outcomes = {c.name: c for c in obs.clients}
+        attack_len = min(scenario.adversary.stop, scenario.duration) - scenario.adversary.start
+        if attack_len < MIN_WINDOW:
+            return out
+        for spec in scenario.clients:
+            if spec.rate < 2.0 or min(spec.stop, scenario.duration) <= scenario.adversary.start:
+                continue
+            outcome = outcomes.get(spec.name)
+            if outcome is None or outcome.requests == 0:
+                continue
+            if outcome.attacked_ratio < COLLATERAL_FLOOR:
+                out.append(
+                    f"client {spec.name} on zone {spec.zone}: success "
+                    f"{outcome.attacked_ratio:.2f} < {COLLATERAL_FLOOR} under "
+                    f"{scenario.adversary.strategy} adversary with DCC enabled"
+                )
+        return out
+
+
+class StaleWindowOracle(Oracle):
+    """RFC 8767: stale answers never exceed the configured window."""
+
+    name = "stale-window"
+
+    def check(self, scenario, obs):
+        out: List[str] = []
+        window = scenario.resolver.serve_stale_window
+        for serve in obs.stale_serves:
+            if window <= 0:
+                out.append(
+                    f"stale answer for {serve.name}/{serve.rrtype} with "
+                    "serve-stale disabled"
+                )
+            elif serve.age_past_expiry > window + STALE_EPSILON:
+                out.append(
+                    f"stale answer for {serve.name}/{serve.rrtype} aged "
+                    f"{serve.age_past_expiry:.3f}s past expiry > window {window:g}s"
+                )
+        return out
+
+
+class BreakerLegalityOracle(Oracle):
+    """Breakers only take edges their mode defines, in time order."""
+
+    name = "breaker-legality"
+
+    def check(self, scenario, obs):
+        out: List[str] = []
+        legal = LEGAL_TRANSITIONS[scenario.resolver.health_mode]
+        last_at: dict = {}
+        for t in obs.breaker_transitions:
+            if (t.old_state, t.new_state) not in legal:
+                out.append(
+                    f"{t.server}: illegal {scenario.resolver.health_mode} "
+                    f"transition {t.old_state} -> {t.new_state} at t={t.at:.3f}"
+                )
+            previous = last_at.get(t.server)
+            if previous is not None and t.at < previous:
+                out.append(
+                    f"{t.server}: transition at t={t.at:.3f} before the "
+                    f"previous one at t={previous:.3f}"
+                )
+            last_at[t.server] = t.at
+        return out
+
+
+#: the default oracle battery, in reporting order
+ALL_ORACLES = (
+    NoCrashOracle(),
+    ConservationOracle(),
+    TerminationOracle(),
+    ReachabilityOracle(),
+    CollateralOracle(),
+    StaleWindowOracle(),
+    BreakerLegalityOracle(),
+)
+
+
+def check_all(scenario: FuzzScenario, obs: FuzzObservations) -> List[Violation]:
+    """Run every applicable oracle; empty list = verdict ok."""
+    violations: List[Violation] = []
+    for oracle in ALL_ORACLES:
+        if not oracle.applies(scenario, obs):
+            continue
+        for detail in oracle.check(scenario, obs):
+            violations.append(Violation(oracle=oracle.name, detail=detail))
+    return violations

@@ -1,0 +1,175 @@
+"""Greedy scenario minimisation: keep only what the failure needs.
+
+A raw counterexample from the generator drags along zones, clients,
+faults, and config knobs that have nothing to do with the violation.
+The shrinker repeatedly applies structural reductions -- drop the
+adversary, drop a fault, drop a leaf zone (with its pinned clients),
+drop a client, halve duration/rates, zero out knobs -- re-runs the
+scenario, and keeps a reduction iff one of the *original* oracles still
+fires.  First accepted reduction restarts the pass (classic greedy
+delta debugging); the loop ends at a fixpoint or when the run budget is
+spent.
+
+Everything is deterministic: candidates are generated in a fixed order
+from the scenario's own structure, and scenario copies go through the
+JSON codec (the same path a checked-in counterexample takes), so a
+shrunk scenario is born serializable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Sequence, Set, Tuple
+
+from repro.dnscore.name import as_name
+
+from repro.fuzz.oracles import Violation
+from repro.fuzz.scenario import FuzzScenario
+
+#: scenario runs the shrinker may spend by default
+DEFAULT_BUDGET = 150
+
+RunFn = Callable[[FuzzScenario], List[Violation]]
+
+
+def shrink(
+    scenario: FuzzScenario,
+    run_fn: RunFn,
+    target_oracles: Set[str],
+    budget: int = DEFAULT_BUDGET,
+) -> Tuple[FuzzScenario, List[Violation], int]:
+    """Minimise ``scenario`` while ``target_oracles`` keep firing.
+
+    Returns ``(shrunk, violations_of_shrunk, runs_spent)``; when no
+    reduction holds the failure, the original scenario comes back
+    unchanged with zero-cost provenance (the caller already has its
+    violations).
+    """
+    current = scenario
+    current_violations: List[Violation] = []
+    attempts = 0
+    improved = True
+    while improved and attempts < budget:
+        improved = False
+        for candidate in _candidates(current):
+            if attempts >= budget:
+                break
+            attempts += 1
+            violations = run_fn(candidate)
+            if any(v.oracle in target_oracles for v in violations):
+                current = candidate
+                current_violations = violations
+                improved = True
+                break
+    if not current_violations:
+        current_violations = run_fn(current) if current is not scenario else []
+    return current, current_violations, attempts
+
+
+def _copy(scenario: FuzzScenario) -> FuzzScenario:
+    """A deep, serialization-faithful copy (the round-trip IS the copy:
+    anything that survives it will also survive a corpus check-in)."""
+    return FuzzScenario.from_dict(scenario.to_dict())
+
+
+def _droppable_zone_indices(scenario: FuzzScenario) -> List[int]:
+    """Zones no other spec'd zone delegates through (leaf cuts)."""
+    parents = {
+        str(as_name(spec.origin).parent()) for spec in scenario.zones
+    }
+    return [
+        index
+        for index, spec in enumerate(scenario.zones)
+        if spec.origin not in parents
+    ]
+
+
+def _without_zone(scenario: FuzzScenario, index: int) -> FuzzScenario:
+    candidate = _copy(scenario)
+    dropped = candidate.zones.pop(index).origin
+    candidate.clients = [c for c in candidate.clients if c.zone != dropped]
+    if candidate.adversary.zone == dropped:
+        candidate.adversary.strategy = "none"
+        candidate.adversary.zone = ""
+    return candidate
+
+
+def _candidates(scenario: FuzzScenario) -> Iterator[FuzzScenario]:
+    """Reductions in decreasing structural impact, fixed order."""
+    # 1. whole-component drops
+    if scenario.adversary.strategy != "none":
+        candidate = _copy(scenario)
+        candidate.adversary.strategy = "none"
+        candidate.adversary.zone = ""
+        yield candidate
+    for index in range(len(scenario.faults)):
+        candidate = _copy(scenario)
+        candidate.faults.pop(index)
+        yield candidate
+    if len(scenario.zones) > 1:
+        for index in _droppable_zone_indices(scenario):
+            yield _without_zone(scenario, index)
+    if len(scenario.clients) > 1:
+        for index in range(len(scenario.clients)):
+            candidate = _copy(scenario)
+            candidate.clients.pop(index)
+            yield candidate
+
+    # 2. temporal reductions
+    if scenario.duration > 3.0:
+        candidate = _copy(scenario)
+        candidate.duration = max(3.0, scenario.duration / 2.0)
+        yield candidate
+
+    # 3. intensity reductions
+    for index, spec in enumerate(scenario.clients):
+        if spec.rate > 2.0:
+            candidate = _copy(scenario)
+            candidate.clients[index].rate = max(2.0, spec.rate / 2.0)
+            yield candidate
+        if spec.pool_size > 1:
+            candidate = _copy(scenario)
+            candidate.clients[index].pool_size = 1
+            yield candidate
+    if scenario.adversary.strategy != "none" and scenario.adversary.rate > 2.0:
+        candidate = _copy(scenario)
+        candidate.adversary.rate = max(2.0, scenario.adversary.rate / 2.0)
+        yield candidate
+
+    # 4. zone-content reductions
+    for index, spec in enumerate(scenario.zones):
+        for attr, floor in (("leaf_names", 1), ("chain_len", 0)):
+            if getattr(spec, attr) > floor:
+                candidate = _copy(scenario)
+                setattr(candidate.zones[index], attr, floor)
+                yield candidate
+        for flag in ("wildcard", "glueless"):
+            if getattr(spec, flag):
+                candidate = _copy(scenario)
+                setattr(candidate.zones[index], flag, False)
+                yield candidate
+
+    # 5. config reductions towards the defaults
+    yield from _config_reductions(scenario)
+
+
+def _config_reductions(scenario: FuzzScenario) -> Iterator[FuzzScenario]:
+    rk = scenario.resolver
+    knob_resets: Sequence[Tuple[str, object, object]] = (
+        ("serve_stale_window", rk.serve_stale_window, 0.0),
+        ("overload", rk.overload, False),
+        ("qname_minimization", rk.qname_minimization, False),
+        ("health_mode", rk.health_mode, "legacy"),
+    )
+    for attr, value, default in knob_resets:
+        if value != default:
+            candidate = _copy(scenario)
+            setattr(candidate.resolver, attr, default)
+            yield candidate
+    if scenario.dcc.enabled:
+        candidate = _copy(scenario)
+        candidate.dcc.enabled = False
+        yield candidate
+    if scenario.client_attempts > 1:
+        candidate = _copy(scenario)
+        candidate.client_attempts = 1
+        yield candidate

@@ -26,7 +26,7 @@ draws happen, which is itself seed-stable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, FrozenSet, Iterable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from repro.netsim.link import LinkSpec
 
@@ -35,11 +35,18 @@ if TYPE_CHECKING:  # pragma: no cover
 
 Addresses = Union[str, Iterable[str]]
 
+FaultSpec = Union["LinkDegradation", "Partition", "NodeOutage"]
+
 
 def _group(addresses: Addresses) -> FrozenSet[str]:
     if isinstance(addresses, str):
         return frozenset((addresses,))
     return frozenset(addresses)
+
+
+def _group_list(group: Addresses) -> List[str]:
+    """Canonical (sorted) list form of an address group for JSON."""
+    return sorted(_group(group))
 
 
 @dataclass
@@ -83,6 +90,25 @@ class LinkDegradation:
             return True
         return self.bidirectional and src in self.dst and dst in self.src
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "degradation",
+            "src": _group_list(self.src),
+            "dst": _group_list(self.dst),
+            "start": self.start,
+            "end": self.end,
+            "loss": self.loss,
+            "latency": self.latency,
+            "jitter": self.jitter,
+            "ramp": self.ramp,
+            "bidirectional": self.bidirectional,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LinkDegradation":
+        fields = {k: v for k, v in data.items() if k != "kind"}
+        return cls(**fields)  # type: ignore[arg-type]
+
 
 @dataclass
 class Partition:
@@ -101,6 +127,20 @@ class Partition:
 
     def severs(self, src: str, dst: str) -> bool:
         return (src in self.a and dst in self.b) or (src in self.b and dst in self.a)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "partition",
+            "a": _group_list(self.a),
+            "b": _group_list(self.b),
+            "start": self.start,
+            "end": self.end,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Partition":
+        fields = {k: v for k, v in data.items() if k != "kind"}
+        return cls(**fields)  # type: ignore[arg-type]
 
 
 @dataclass
@@ -126,6 +166,52 @@ class NodeOutage:
             raise ValueError(f"outage duration must be positive, got {self.duration}")
         if self.flaps < 1:
             raise ValueError(f"flaps must be >= 1, got {self.flaps}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "outage",
+            "address": self.address,
+            "at": self.at,
+            "duration": self.duration,
+            "flaps": self.flaps,
+            "period": self.period,
+            "jitter": self.jitter,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NodeOutage":
+        fields = {k: v for k, v in data.items() if k != "kind"}
+        return cls(**fields)  # type: ignore[arg-type]
+
+
+#: JSON ``kind`` tag -> fault spec class, for :func:`fault_from_dict`
+_FAULT_KINDS = {
+    "degradation": LinkDegradation,
+    "partition": Partition,
+    "outage": NodeOutage,
+}
+
+
+def fault_from_dict(data: Dict[str, object]) -> FaultSpec:
+    """Rebuild any fault spec from its :meth:`to_dict` form.
+
+    Round-trips bit-for-bit: groups serialize as sorted lists and
+    rebuild as frozensets, so a schedule shrunk to JSON and replayed
+    drives the injector identically.
+    """
+    kind = data.get("kind")
+    cls = _FAULT_KINDS.get(str(kind))
+    if cls is None:
+        raise ValueError(f"unknown fault kind {kind!r}")
+    return cls.from_dict(data)
+
+
+def schedule_to_dicts(faults: Iterable[FaultSpec]) -> List[Dict[str, object]]:
+    return [fault.to_dict() for fault in faults]
+
+
+def schedule_from_dicts(records: Iterable[Dict[str, object]]) -> List[FaultSpec]:
+    return [fault_from_dict(record) for record in records]
 
 
 @dataclass
@@ -174,6 +260,16 @@ class FaultInjector:
         self._mark(spec.start, f"partition start {_label(spec.a)}|{_label(spec.b)}")
         self._mark(spec.end, f"partition heal {_label(spec.a)}|{_label(spec.b)}")
         return spec
+
+    def add(self, spec: FaultSpec) -> FaultSpec:
+        """Register any fault spec (the deserialized-schedule entry point)."""
+        if isinstance(spec, LinkDegradation):
+            return self.add_link_degradation(spec)
+        if isinstance(spec, Partition):
+            return self.add_partition(spec)
+        if isinstance(spec, NodeOutage):
+            return self.add_node_outage(spec)
+        raise TypeError(f"not a fault spec: {spec!r}")
 
     def add_node_outage(self, spec: NodeOutage) -> NodeOutage:
         self._outages.append(spec)

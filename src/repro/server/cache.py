@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.dnscore.name import Name
 from repro.dnscore.rdata import NSData, RCode, RRType
@@ -64,6 +64,10 @@ class ResolverCache:
         self.denial_hits = 0
         #: cached NSEC ranges: (prev canonical key, next key, expires)
         self._denials: List[Tuple[Tuple[str, ...], Tuple[str, ...], float]] = []
+        #: observation hook fired on every stale serve with
+        #: ``(name, rrtype, age_past_expiry)``; the fuzzer's serve-stale
+        #: oracle attaches here to prove the RFC 8767 window bound
+        self.stale_probe: Optional[Callable[[Name, RRType, float], None]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -122,6 +126,8 @@ class ResolverCache:
         if entry.fresh(now) or now >= entry.expires + self.stale_window:
             return None
         self.stale_hits += 1
+        if self.stale_probe is not None:
+            self.stale_probe(name, rrtype, now - entry.expires)
         return entry
 
     def peek(self, name: Name, rrtype: RRType, now: float) -> Optional[CacheEntry]:

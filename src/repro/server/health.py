@@ -119,6 +119,8 @@ class UpstreamHealth:
     __slots__ = (
         "config",
         "stats",
+        "server",
+        "transition_probe",
         "srtt",
         "rttvar",
         "_rto",
@@ -129,9 +131,25 @@ class UpstreamHealth:
         "_probe_inflight",
     )
 
-    def __init__(self, config: HealthConfig, stats: HealthStats) -> None:
+    def __init__(
+        self,
+        config: HealthConfig,
+        stats: HealthStats,
+        server: str = "",
+        transition_probe: Optional[
+            Callable[[str, BreakerState, BreakerState, float], None]
+        ] = None,
+    ) -> None:
         self.config = config
         self.stats = stats
+        #: upstream address, for transition-probe attribution
+        self.server = server
+        #: observation hook fired on every breaker state change with
+        #: ``(server, old_state, new_state, now)``; the fuzzer's
+        #: state-machine-legality oracle attaches here.  Transitions are
+        #: rare (breaker events only), so the None check costs nothing
+        #: on the per-query paths.
+        self.transition_probe = transition_probe
         #: smoothed RTT; None until the first accepted sample
         self.srtt: Optional[float] = None
         self.rttvar: float = 0.0
@@ -158,7 +176,7 @@ class UpstreamHealth:
         self.streak = 0
         if self.state is BreakerState.HALF_OPEN:
             # The single probe came back: the server is healthy again.
-            self.state = BreakerState.CLOSED
+            self._transition(BreakerState.CLOSED, now)
             self._probe_inflight = False
             self._last_open_interval = 0.0
             self.stats.breaker_closes += 1
@@ -227,8 +245,14 @@ class UpstreamHealth:
         if self.config.mode == "adaptive":
             self._rto = min(self._rto * 2.0, self.config.rto_max)
 
+    def _transition(self, new_state: BreakerState, now: float) -> None:
+        old_state = self.state
+        self.state = new_state
+        if self.transition_probe is not None:
+            self.transition_probe(self.server, old_state, new_state, now)
+
     def _open(self, now: float, rng: random.Random) -> None:
-        self.state = BreakerState.OPEN
+        self._transition(BreakerState.OPEN, now)
         if self.config.mode == "legacy":
             interval = self.config.hold_down
         else:
@@ -251,9 +275,9 @@ class UpstreamHealth:
             if self.config.mode == "legacy":
                 # Seed semantics: hold-down lapse fully re-admits the
                 # server, no probe stage.
-                self.state = BreakerState.CLOSED
+                self._transition(BreakerState.CLOSED, now)
             else:
-                self.state = BreakerState.HALF_OPEN
+                self._transition(BreakerState.HALF_OPEN, now)
                 self._probe_inflight = False
                 self.stats.breaker_half_opens += 1
 
@@ -330,11 +354,36 @@ class HealthRegistry:
         #: the scenario wiring when a run opts in)
         self.obs = NULL_OBS
         self.obs_track = ""
+        self._transition_probe: Optional[
+            Callable[[str, BreakerState, BreakerState, float], None]
+        ] = None
+
+    @property
+    def transition_probe(
+        self,
+    ) -> Optional[Callable[[str, BreakerState, BreakerState, float], None]]:
+        """Breaker state-change hook, fanned out to every upstream entry
+        (existing and future).  See :attr:`UpstreamHealth.transition_probe`."""
+        return self._transition_probe
+
+    @transition_probe.setter
+    def transition_probe(
+        self,
+        probe: Optional[Callable[[str, BreakerState, BreakerState, float], None]],
+    ) -> None:
+        self._transition_probe = probe
+        for entry in self._servers.values():
+            entry.transition_probe = probe
 
     def health(self, server: str) -> UpstreamHealth:
         entry = self._servers.get(server)
         if entry is None:
-            entry = UpstreamHealth(self.config, self.stats)
+            entry = UpstreamHealth(
+                self.config,
+                self.stats,
+                server=server,
+                transition_probe=self._transition_probe,
+            )
             self._servers[server] = entry
         return entry
 

@@ -269,3 +269,50 @@ class TestInjectorComposition:
         rendered = injector.render_timeline().splitlines()
         times = [float(line.split("s")[0]) for line in rendered]
         assert times == sorted(times)
+
+
+class TestFaultSerialization:
+    SPECS = [
+        LinkDegradation(
+            src=A_ADDR, dst=B_ADDR, start=1.0, end=3.0, loss=0.4, latency=0.02, ramp=0.5
+        ),
+        Partition(a=A_ADDR, b=B_ADDR, start=2.0, end=4.0),
+        Partition(a=[A_ADDR], b=[B_ADDR, "10.0.0.3"], start=0.0, end=1.0),
+        NodeOutage(address=B_ADDR, at=1.0, duration=0.5, flaps=3, period=2.0, jitter=0.3),
+    ]
+
+    def test_round_trip_each_kind(self):
+        from repro.netsim.faults import fault_from_dict
+
+        for spec in self.SPECS:
+            data = spec.to_dict()
+            assert isinstance(data["kind"], str)
+            assert fault_from_dict(data) == spec
+
+    def test_schedule_round_trip_through_json(self):
+        import json
+
+        from repro.netsim.faults import schedule_from_dicts, schedule_to_dicts
+
+        wire = json.dumps(schedule_to_dicts(self.SPECS))
+        assert schedule_from_dicts(json.loads(wire)) == self.SPECS
+
+    def test_unknown_kind_rejected(self):
+        from repro.netsim.faults import fault_from_dict
+
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            fault_from_dict({"kind": "meteor-strike"})
+
+    def test_injector_add_dispatches_by_type(self):
+        sim, net, a, b = make_net()
+        injector = FaultInjector(net)
+        for spec in self.SPECS:
+            injector.add(spec)
+        sim.run()
+        assert injector.stats.crashes == 3  # the flapping outage fired
+
+    def test_add_rejects_non_fault_objects(self):
+        _, net, _, _ = make_net()
+        injector = FaultInjector(net)
+        with pytest.raises(TypeError):
+            injector.add(object())

@@ -1,0 +1,181 @@
+"""Oracle unit tests on synthetic observations (no simulation)."""
+
+from repro.fuzz.oracles import (
+    BreakerLegalityOracle,
+    CollateralOracle,
+    ConservationOracle,
+    NoCrashOracle,
+    ReachabilityOracle,
+    StaleWindowOracle,
+    TerminationOracle,
+    check_all,
+)
+from repro.fuzz.runner import (
+    BreakerTransition,
+    ClientOutcome,
+    FuzzObservations,
+    StaleServe,
+)
+from repro.fuzz.scenario import (
+    AdversarySpec,
+    BenignClientSpec,
+    DccKnobs,
+    FuzzScenario,
+    ResolverKnobs,
+)
+from repro.workloads.zonegen import ZoneNodeSpec
+
+
+def scenario(**kwargs) -> FuzzScenario:
+    base = dict(
+        zones=[ZoneNodeSpec("z0.")],
+        clients=[BenignClientSpec(name="benign0", zone="z0.", rate=20.0, stop=8.0)],
+        duration=8.0,
+    )
+    base.update(kwargs)
+    return FuzzScenario(**base)
+
+
+def clean_obs(**kwargs) -> FuzzObservations:
+    base = dict(
+        scenario_id="x",
+        clients=[
+            ClientOutcome(
+                name="benign0",
+                zone="z0.",
+                requests=100,
+                successes=100,
+                success_ratio=1.0,
+                clean_ratio=1.0,
+                attacked_ratio=1.0,
+            )
+        ],
+    )
+    base.update(kwargs)
+    return FuzzObservations(**base)
+
+
+class TestCrashAndConservation:
+    def test_clean_run_passes_everything(self):
+        assert check_all(scenario(), clean_obs()) == []
+
+    def test_crash_reported(self):
+        out = NoCrashOracle().check(scenario(), clean_obs(crash="ValueError: boom"))
+        assert out == ["ValueError: boom"]
+
+    def test_simsan_and_scheduler_violations_reported(self):
+        obs = clean_obs(
+            simsan_violations=["negative bucket"], scheduler_errors=["depth mismatch"]
+        )
+        out = ConservationOracle().check(scenario(), obs)
+        assert len(out) == 2
+        assert any("simsan" in line for line in out)
+        assert any("scheduler" in line for line in out)
+
+
+class TestTermination:
+    def test_pending_after_drain_flagged(self):
+        obs = clean_obs(resolver_pending_after_drain=3)
+        assert any("pending" in v for v in TerminationOracle().check(scenario(), obs))
+
+    def test_event_cap_hit_flagged(self):
+        obs = clean_obs(event_cap=100, events_processed=100, event_cap_hit=True)
+        assert any("runaway" in v for v in TerminationOracle().check(scenario(), obs))
+
+    def test_stuck_client_flagged(self):
+        obs = clean_obs()
+        obs.clients[0].pending_after_drain = 2
+        assert any("never timed out" in v for v in TerminationOracle().check(scenario(), obs))
+
+
+class TestReachability:
+    def test_low_clean_ratio_fires_without_adversary_or_faults(self):
+        obs = clean_obs()
+        obs.clients[0].clean_ratio = 0.1
+        assert ReachabilityOracle().check(scenario(), obs)
+
+    def test_exempt_when_faults_scheduled(self):
+        from repro.netsim.faults import NodeOutage
+
+        s = scenario(faults=[NodeOutage(address="10.0.40.1", at=1.0, duration=2.0)])
+        assert not ReachabilityOracle().applies(s, clean_obs())
+
+
+class TestCollateral:
+    def attacked_scenario(self, **kwargs):
+        return scenario(
+            adversary=AdversarySpec(strategy="nx", zone="z0.", start=2.0, stop=8.0),
+            dcc=DccKnobs(enabled=True),
+            **kwargs,
+        )
+
+    def test_applies_only_with_dcc_and_adversary_and_no_faults(self):
+        oracle = CollateralOracle()
+        assert oracle.applies(self.attacked_scenario(), clean_obs())
+        assert not oracle.applies(scenario(dcc=DccKnobs(enabled=True)), clean_obs())
+        assert not oracle.applies(
+            scenario(adversary=AdversarySpec(strategy="nx", zone="z0.")), clean_obs()
+        )
+
+    def test_collapsed_benign_service_fires(self):
+        obs = clean_obs()
+        obs.clients[0].attacked_ratio = 0.05
+        assert CollateralOracle().check(self.attacked_scenario(), obs)
+
+    def test_bounded_loss_passes(self):
+        obs = clean_obs()
+        obs.clients[0].attacked_ratio = 0.8
+        assert CollateralOracle().check(self.attacked_scenario(), obs) == []
+
+
+class TestStaleWindow:
+    def test_overage_fires(self):
+        s = scenario(resolver=ResolverKnobs(serve_stale_window=10.0))
+        obs = clean_obs(stale_serves=[StaleServe("a.z0.", "A", 10.5, 10.0)])
+        assert StaleWindowOracle().check(s, obs)
+
+    def test_within_window_passes(self):
+        s = scenario(resolver=ResolverKnobs(serve_stale_window=10.0))
+        obs = clean_obs(stale_serves=[StaleServe("a.z0.", "A", 9.9, 10.0)])
+        assert StaleWindowOracle().check(s, obs) == []
+
+    def test_any_stale_serve_with_window_disabled_fires(self):
+        obs = clean_obs(stale_serves=[StaleServe("a.z0.", "A", 0.1, 0.0)])
+        assert StaleWindowOracle().check(scenario(), obs)
+
+
+class TestBreakerLegality:
+    def test_legacy_rejects_half_open(self):
+        s = scenario(resolver=ResolverKnobs(health_mode="legacy"))
+        obs = clean_obs(
+            breaker_transitions=[BreakerTransition("10.0.40.1", "open", "half-open", 3.0)]
+        )
+        assert BreakerLegalityOracle().check(s, obs)
+
+    def test_adaptive_requires_half_open_before_close(self):
+        s = scenario(resolver=ResolverKnobs(health_mode="adaptive"))
+        obs = clean_obs(
+            breaker_transitions=[BreakerTransition("10.0.40.1", "open", "closed", 3.0)]
+        )
+        assert BreakerLegalityOracle().check(s, obs)
+
+    def test_legal_adaptive_cycle_passes(self):
+        s = scenario(resolver=ResolverKnobs(health_mode="adaptive"))
+        obs = clean_obs(
+            breaker_transitions=[
+                BreakerTransition("s", "closed", "open", 1.0),
+                BreakerTransition("s", "open", "half-open", 2.0),
+                BreakerTransition("s", "half-open", "closed", 3.0),
+            ]
+        )
+        assert BreakerLegalityOracle().check(s, obs) == []
+
+    def test_time_reversal_fires(self):
+        s = scenario(resolver=ResolverKnobs(health_mode="adaptive"))
+        obs = clean_obs(
+            breaker_transitions=[
+                BreakerTransition("s", "closed", "open", 2.0),
+                BreakerTransition("s", "open", "half-open", 1.0),
+            ]
+        )
+        assert any("before" in v for v in BreakerLegalityOracle().check(s, obs))

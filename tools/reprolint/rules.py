@@ -40,6 +40,7 @@ SIM_PURE_FRAGMENTS: Tuple[str, ...] = (
     "repro/dnscore",
     "repro/util",
     "repro/obs",
+    "repro/fuzz",
 )
 
 #: paths allowed to print (drivers and entry points)
