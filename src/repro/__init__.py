@@ -20,6 +20,7 @@ Top-level convenience imports; the subpackages are:
   table/figure.
 """
 
+from repro._version import __version__
 from repro.dcc import DccConfig, DccShim, MopiFq, MopiFqConfig
 from repro.netsim import Network, Simulator
 from repro.server import (
@@ -29,8 +30,6 @@ from repro.server import (
     RecursiveResolver,
     ResolverConfig,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     "DccConfig",

@@ -14,7 +14,7 @@ import json
 from dataclasses import asdict, is_dataclass
 from typing import Any, Dict, Optional
 
-from repro import __version__
+from repro._version import __version__
 
 
 def config_digest(config: Any) -> str:

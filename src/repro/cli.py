@@ -15,6 +15,7 @@ regenerated without writing Python:
     python -m repro selfcheck            # determinism proof (SimSan on)
     python -m repro obs --scale 0.15     # observed run, exports traces
     python -m repro fuzz --seed 42 --iterations 25  # scenario fuzzing
+    python -m repro lint                 # reprolint over src/ tests/ tools/
     python -m repro all --scale 0.1      # everything, quick settings
 """
 
@@ -138,6 +139,17 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--quiet", action="store_true",
                       help="suppress the live verdict-log tail")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the reprolint static analyzer (rules R1-R9); defaults "
+        "to src/ tests/ tools/ against the checked-in ratchet",
+    )
+    lint.add_argument(
+        "lint_args", nargs=argparse.REMAINDER, metavar="ARGS",
+        help="paths and flags forwarded to tools.reprolint "
+        "(see python -m tools.reprolint --help)",
+    )
+
     everything = sub.add_parser("all", help="run every experiment (quick settings)")
     everything.add_argument("--scale", type=float, default=0.1)
     return parser
@@ -190,8 +202,42 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(lint_args: List[str]) -> int:
+    """Shell into tools.reprolint from the installed-package entry point.
+
+    The linter lives in ``tools/`` (it lints the repo, it is not part of
+    the library), so this resolves the repo root relative to the
+    ``repro`` package and fails loudly outside a source checkout.
+    """
+    import os
+
+    import repro
+
+    repo_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__))))
+    if not os.path.isdir(os.path.join(repo_root, "tools", "reprolint")):
+        print("repro lint: tools/reprolint not found; "
+              "run from a source checkout", file=sys.stderr)
+        return 2
+    if repo_root not in sys.path:
+        sys.path.insert(0, repo_root)
+    from tools.reprolint.__main__ import main as lint_main
+
+    argv = list(lint_args)
+    if not argv:
+        argv = ["--ratchet"]  # bare `repro lint` behaves like the CI gate
+    if not any(not token.startswith("-") for token in argv):
+        argv = [os.path.join(repo_root, p) for p in ("src", "tests", "tools")] + argv
+    return lint_main(argv)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    tokens = list(sys.argv[1:] if argv is None else argv)
+    if tokens and tokens[0] == "lint":
+        # forwarded verbatim: argparse's REMAINDER drops leading flags
+        # (bpo-17050), so lint never goes through the parser
+        return _cmd_lint(tokens[1:])
+    args = _build_parser().parse_args(tokens)
 
     if args.command == "fig2":
         from repro.experiments import fig2_ratelimits
@@ -247,6 +293,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return resilience_matrix.main(scale=args.scale, seed=args.seed, out=args.out)
     elif args.command == "fuzz":
         return _cmd_fuzz(args)
+    elif args.command == "lint":
+        return _cmd_lint(args)
     elif args.command == "all":
         from repro.experiments import (
             chaos_resilience,

@@ -29,7 +29,7 @@ from collections import OrderedDict, deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.dcc.mopifq import DequeuedMessage, EnqueueStatus, EvictedMessage
-from repro.server.ratelimit import TokenBucket
+from repro.util.tokenbucket import TokenBucket
 
 
 class _ChannelMixin:

@@ -50,7 +50,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import sanitize as simsan
 from repro.obs import NULL_OBS
-from repro.server.ratelimit import TokenBucket
+from repro.util.tokenbucket import TokenBucket
 from repro.util.ordmap import OrderedMap
 from repro.util.ringbuf import RingBuffer
 

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional
 from repro import sanitize as simsan
 from repro.dcc.monitor import AnomalyKind
 from repro.obs import NULL_OBS
-from repro.server.ratelimit import TokenBucket
+from repro.util.tokenbucket import TokenBucket
 
 
 class PolicyKind(enum.IntEnum):

@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dnscore.message import Message
-    from repro.netsim.node import Node
+    from repro.netsim.node import Node  # reprolint: disable=R6 -- type-only mutual ref inside netsim; no runtime cycle
     from repro.netsim.sim import Simulator
 
 

@@ -18,7 +18,7 @@ from repro.obs import NULL_OBS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dnscore.message import Message
-    from repro.netsim.link import Network
+    from repro.netsim.link import Network  # reprolint: disable=R6 -- type-only mutual ref inside netsim; no runtime cycle
     from repro.netsim.sim import Simulator
 
 

@@ -30,7 +30,7 @@ byte-identical with observability on or off.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Protocol
 
 from repro.obs.metrics import (
     DEFAULT_SIZE_BOUNDS,
@@ -43,8 +43,17 @@ from repro.obs.metrics import (
 from repro.obs.sketch import SpaceSaving
 from repro.obs.spans import NO_PARENT, Tracer
 
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.netsim.sim import Simulator
+
+class SupportsObsTick(Protocol):
+    """Anything with an ``obs_tick`` clock-advance hook slot.
+
+    Structurally matches :class:`repro.netsim.sim.Simulator`; a Protocol
+    keeps ``obs`` below ``netsim`` in the layering contract (reprolint
+    R6) instead of importing the simulator for one annotation.
+    """
+
+    obs_tick: Optional[Callable[[float], None]]
+
 
 __all__ = [
     "ObsConfig",
@@ -159,7 +168,7 @@ class Observability(NullObservability):
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
-    def attach(self, sim: "Simulator") -> None:
+    def attach(self, sim: SupportsObsTick) -> None:
         """Drive the time-series sampler from the simulator's clock.
 
         Installs :meth:`MetricsRegistry.on_advance` as the simulator's

@@ -36,7 +36,7 @@ from repro.dnscore.rdata import CNAMEData, RCode, RRType, SOAData
 from repro.dnscore.rrset import RRSet
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.server.resolver import RecursiveResolver
+    from repro.server.resolver import RecursiveResolver  # reprolint: disable=R6 -- type-only back edge; resolver drives resolution tasks
 
 _task_ids = itertools.count(1)
 

@@ -33,7 +33,7 @@ from repro.server.cache import ResolverCache
 from repro.server.health import HealthConfig, HealthRegistry
 from repro.server.overload import OverloadConfig, OverloadController, ShedPolicy
 from repro.server.ratelimit import RateLimitAction, RateLimitConfig, RateLimiter
-from repro.server.resolution import ResolutionOutcome, ResolutionTask
+from repro.server.resolution import ResolutionOutcome, ResolutionTask  # reprolint: disable=R6 -- cycle is type-only in the reverse direction
 
 
 @dataclass

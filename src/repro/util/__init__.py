@@ -12,15 +12,22 @@ scheduler and the simulation substrate are built on:
 - :class:`repro.util.sliding.SlidingWindowCounter` and
   :class:`repro.util.sliding.SlidingWindowRatio` -- windowed counters used
   by DCC's anomaly monitoring.
+- :class:`repro.util.tokenbucket.TokenBucket` and
+  :class:`repro.util.tokenbucket.WindowedCounter` -- rate-limiting
+  primitives shared by the server-side limiter tables and DCC's
+  per-channel capacity control.
 """
 
 from repro.util.ordmap import OrderedMap
 from repro.util.ringbuf import RingBuffer
 from repro.util.sliding import SlidingWindowCounter, SlidingWindowRatio
+from repro.util.tokenbucket import TokenBucket, WindowedCounter
 
 __all__ = [
     "OrderedMap",
     "RingBuffer",
     "SlidingWindowCounter",
     "SlidingWindowRatio",
+    "TokenBucket",
+    "WindowedCounter",
 ]

@@ -48,6 +48,23 @@ def test_resilience_small(capsys, tmp_path):
     assert "Resilience matrix" in out_file.read_text()
 
 
+def test_lint_subcommand_forwards_to_reprolint(capsys, tmp_path):
+    bad = tmp_path / "src" / "repro" / "netsim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    assert main(["lint", str(bad), "--no-cache", "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "R1" in out
+
+    good = tmp_path / "src" / "repro" / "netsim" / "good.py"
+    good.write_text("def f(rng):\n    return rng.random()\n")
+    assert main(["lint", str(good), "--no-cache", "--no-baseline"]) == 0
+
+
+def test_lint_subcommand_propagates_path_errors(tmp_path):
+    assert main(["lint", str(tmp_path / "missing"), "--no-cache"]) == 2
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])

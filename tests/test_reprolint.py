@@ -1,4 +1,8 @@
-"""Unit tests for the reprolint simulation-purity linter (rules R1-R5)."""
+"""Unit tests for the reprolint per-file rules (R1-R5) and the CLI.
+
+The whole-program rules (R6-R9), engine cache, autofix, SARIF and
+ratchet each have their own test module (``test_reprolint_*.py``).
+"""
 
 import json
 import os
@@ -269,7 +273,9 @@ def test_fingerprint_is_line_number_independent():
 
 
 def test_every_rule_has_id_and_description():
-    assert set(rules.RULES) == {"R1", "R2", "R3", "R4", "R5"}
+    assert set(rules.RULES) == {
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+    }
     for rule_id, description in rules.RULES.items():
         assert description, rule_id
 
@@ -283,12 +289,15 @@ def test_cli_json_and_baseline_roundtrip(tmp_path):
     baseline = tmp_path / "baseline.json"
 
     # Finding present -> exit 1, JSON names the rule.
-    assert cli.main([str(bad), "--format=json", "--baseline", str(baseline)]) == 1
+    assert cli.main([str(bad), "--no-cache", "--format=json",
+                     "--baseline", str(baseline)]) == 1
     # Grandfather it, then the same invocation passes.
-    assert cli.main([str(bad), "--write-baseline", "--baseline", str(baseline)]) == 0
-    assert cli.main([str(bad), "--format=json", "--baseline", str(baseline)]) == 0
+    assert cli.main([str(bad), "--no-cache", "--write-baseline",
+                     "--baseline", str(baseline)]) == 0
+    assert cli.main([str(bad), "--no-cache", "--format=json",
+                     "--baseline", str(baseline)]) == 0
     # --no-baseline resurfaces it.
-    assert cli.main([str(bad), "--no-baseline"]) == 1
+    assert cli.main([str(bad), "--no-cache", "--no-baseline"]) == 1
 
     payload = json.loads(baseline.read_text())
     assert payload["findings"], "baseline should record the grandfathered finding"
@@ -300,13 +309,26 @@ def test_clean_file_exits_zero(tmp_path):
     good = tmp_path / "src" / "repro" / "netsim" / "good.py"
     good.parent.mkdir(parents=True)
     good.write_text("def f(rng):\n    return rng.random()\n")
-    assert cli.main([str(good), "--no-baseline"]) == 0
+    assert cli.main([str(good), "--no-cache", "--no-baseline"]) == 0
 
 
-def test_repo_source_tree_is_clean():
-    """The checked-in simulator must lint clean (acceptance criterion)."""
+def test_nonexistent_path_is_a_hard_error(tmp_path):
+    """A path that does not exist must exit 2, not silently pass."""
+    from tools.reprolint import __main__ as cli
+
+    missing = tmp_path / "does-not-exist"
+    assert cli.main([str(missing), "--no-cache"]) == 2
+    # ...even when mixed with paths that do exist.
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert cli.main([str(good), str(missing), "--no-cache"]) == 2
+
+
+def test_repo_source_tree_is_clean(tmp_path):
+    """The checked-in tree must lint clean (acceptance criterion)."""
     result = subprocess.run(
-        [sys.executable, "-m", "tools.reprolint", "src/", "--format=json"],
+        [sys.executable, "-m", "tools.reprolint", "src/", "tests/", "tools/",
+         "--format=json", "--cache", str(tmp_path / "cache.json")],
         cwd=REPO_ROOT,
         capture_output=True,
         text=True,

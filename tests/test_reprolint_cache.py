@@ -1,0 +1,115 @@
+"""The content-hash incremental cache: hits, invalidation, versioning."""
+
+import json
+import os
+import sys
+import textwrap
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from tools.reprolint import engine  # noqa: E402
+
+
+def make_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "netsim"
+    pkg.mkdir(parents=True)
+    (pkg / "a.py").write_text("def f(rng):\n    return rng.random()\n")
+    (pkg / "b.py").write_text("def g(x):\n    return x + 1\n")
+    return pkg
+
+
+def test_warm_run_hits_cache_and_agrees_with_cold(tmp_path):
+    make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+
+    cold = engine.run([str(tmp_path)], cache_path=str(cache))
+    assert cold.stats.cache_hits == 0
+    assert cold.stats.files == 2
+    assert cache.exists()
+
+    warm = engine.run([str(tmp_path)], cache_path=str(cache))
+    assert warm.stats.cache_hits == 2
+    assert warm.findings == cold.findings
+
+
+def test_edited_file_invalidates_only_itself(tmp_path):
+    pkg = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    engine.run([str(tmp_path)], cache_path=str(cache))
+
+    # introduce a finding; the other file stays cached
+    (pkg / "a.py").write_text("import time\n\ndef f():\n    return time.time()\n")
+    result = engine.run([str(tmp_path)], cache_path=str(cache))
+    assert result.stats.cache_hits == 1
+    assert [f.rule for f in result.findings] == ["R1"]
+
+    # and the finding survives a further (fully warm) rerun
+    rerun = engine.run([str(tmp_path)], cache_path=str(cache))
+    assert rerun.stats.cache_hits == 2
+    assert [f.rule for f in rerun.findings] == ["R1"]
+
+
+def test_reverting_the_edit_clears_the_finding(tmp_path):
+    pkg = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    clean = (pkg / "a.py").read_text()
+    engine.run([str(tmp_path)], cache_path=str(cache))
+
+    (pkg / "a.py").write_text("import time\n\ndef f():\n    return time.time()\n")
+    assert engine.run([str(tmp_path)], cache_path=str(cache)).findings
+    (pkg / "a.py").write_text(clean)
+    assert engine.run([str(tmp_path)], cache_path=str(cache)).findings == []
+
+
+def test_version_bump_invalidates_cache(tmp_path):
+    make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    engine.run([str(tmp_path)], cache_path=str(cache))
+
+    payload = json.loads(cache.read_text())
+    payload["version"] = "0.0"
+    cache.write_text(json.dumps(payload))
+    result = engine.run([str(tmp_path)], cache_path=str(cache))
+    assert result.stats.cache_hits == 0
+
+
+def test_corrupt_cache_is_ignored_not_fatal(tmp_path):
+    make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json")
+    result = engine.run([str(tmp_path)], cache_path=str(cache))
+    assert result.stats.cache_hits == 0
+    assert result.findings == []
+    # and the run rewrote it into a usable state
+    assert engine.run([str(tmp_path)], cache_path=str(cache)).stats.cache_hits == 2
+
+
+def test_suppressions_apply_identically_on_warm_runs(tmp_path):
+    pkg = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    (pkg / "a.py").write_text(
+        "import time\n\ndef f():\n"
+        "    return time.time()  # reprolint: disable=R1 -- test\n")
+    cold = engine.run([str(tmp_path)], cache_path=str(cache))
+    warm = engine.run([str(tmp_path)], cache_path=str(cache))
+    assert cold.findings == warm.findings == []
+    assert cold.stats.suppressed == warm.stats.suppressed == 1
+
+
+def test_project_rules_still_run_on_fully_warm_cache(tmp_path):
+    """R6-R9 operate on cached facts -- a warm run must still find
+    cross-file violations."""
+    pkg = tmp_path / "src" / "repro"
+    (pkg / "netsim").mkdir(parents=True)
+    (pkg / "dnscore").mkdir(parents=True)
+    (pkg / "netsim" / "sim.py").write_text("")
+    (pkg / "dnscore" / "bad.py").write_text("from repro.netsim import sim\n")
+    cache = tmp_path / "cache.json"
+
+    cold = engine.run([str(tmp_path)], cache_path=str(cache))
+    warm = engine.run([str(tmp_path)], cache_path=str(cache))
+    assert warm.stats.cache_hits == 2
+    assert [f.rule for f in cold.findings] == ["R6"]
+    assert warm.findings == cold.findings

@@ -1,0 +1,114 @@
+"""``reprolint --fix`` autofixes: R3 sorted() wrapping, R5 print removal."""
+
+import os
+import sys
+import textwrap
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from tools.reprolint import autofix, engine  # noqa: E402
+
+
+def write(tmp_path, rel, src):
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(src))
+    return target
+
+
+def lint(tmp_path):
+    return engine.run([str(tmp_path)], cache_path=None)
+
+
+def test_r3_fix_wraps_set_iterables_in_sorted(tmp_path):
+    bad = write(tmp_path, "src/repro/netsim/w.py", """\
+        def walk(xs):
+            for item in {"a", "b"}:
+                yield item
+            for item in set(xs):
+                yield item
+        """)
+    report = autofix.apply_fixes(lint(tmp_path).findings)
+    assert report.fixes_applied == 2
+    fixed = bad.read_text()
+    assert 'for item in sorted({"a", "b"}):' in fixed
+    assert "for item in sorted(set(xs)):" in fixed
+    assert lint(tmp_path).findings == []
+
+
+def test_r5_fix_deletes_standalone_print(tmp_path):
+    bad = write(tmp_path, "src/repro/netsim/p.py", """\
+        def step(x):
+            print("debug", x)
+            return x + 1
+        """)
+    autofix.apply_fixes(lint(tmp_path).findings)
+    fixed = bad.read_text()
+    assert "print" not in fixed
+    assert "return x + 1" in fixed
+    assert lint(tmp_path).findings == []
+
+
+def test_r5_fix_annotates_print_it_cannot_delete(tmp_path):
+    # Deleting the sole statement of a suite would leave invalid syntax;
+    # embedded prints cannot be deleted either.  Both get an allowlist
+    # comment for a human to justify or remove.
+    bad = write(tmp_path, "src/repro/netsim/q.py", """\
+        def step(x, debug):
+            if debug:
+                print("dbg", x)
+            y = print(x) or x
+            return y
+        """)
+    autofix.apply_fixes(lint(tmp_path).findings)
+    fixed = bad.read_text()
+    assert fixed.count("# reprolint: disable=R5") == 2
+    # still valid python, and now lints clean
+    compile(fixed, "q.py", "exec")
+    assert lint(tmp_path).findings == []
+
+
+def test_fix_is_idempotent(tmp_path):
+    bad = write(tmp_path, "src/repro/netsim/w.py", """\
+        def walk(xs):
+            for item in set(xs):
+                print(item)
+        """)
+    first = autofix.apply_fixes(lint(tmp_path).findings)
+    assert first.fixes_applied > 0
+    after_first = bad.read_text()
+    compile(after_first, "w.py", "exec")
+
+    second = autofix.apply_fixes(lint(tmp_path).findings)
+    assert second.fixes_applied == 0
+    assert second.files_changed == []
+    assert bad.read_text() == after_first
+
+
+def test_fix_leaves_unfixable_rules_alone(tmp_path):
+    bad = write(tmp_path, "src/repro/netsim/t.py", """\
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    before = bad.read_text()
+    report = autofix.apply_fixes(lint(tmp_path).findings)
+    assert report.fixes_applied == 0
+    assert bad.read_text() == before
+    # the R1 finding is still there for a human
+    assert [f.rule for f in lint(tmp_path).findings] == ["R1"]
+
+
+def test_cli_fix_flag_applies_and_relints(tmp_path):
+    from tools.reprolint import __main__ as cli
+
+    bad = write(tmp_path, "src/repro/netsim/w.py", """\
+        def walk(xs):
+            for item in set(xs):
+                yield item
+        """)
+    assert cli.main([str(tmp_path), "--no-cache", "--no-baseline", "--fix"]) == 0
+    assert "sorted(set(xs))" in bad.read_text()

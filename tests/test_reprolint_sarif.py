@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 output: structure, fingerprints, and the validator."""
+
+import json
+import os
+import sys
+import textwrap
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from tools import reprolint  # noqa: E402
+from tools.reprolint import engine, sarif  # noqa: E402
+from tools.reprolint.rules import RULES  # noqa: E402
+
+
+def findings_from(tmp_path):
+    bad = tmp_path / "src" / "repro" / "netsim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(textwrap.dedent("""\
+        import time
+
+        def stamp(xs):
+            for item in set(xs):
+                print(item)
+            return time.time()
+        """))
+    return engine.run([str(tmp_path)], cache_path=None).findings
+
+
+def test_sarif_document_structure(tmp_path):
+    findings = findings_from(tmp_path)
+    assert findings
+    doc = sarif.to_sarif(findings, reprolint.fingerprint)
+
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    assert {r["id"] for r in driver["rules"]} == set(RULES)
+    assert len(run["results"]) == len(findings)
+    for result, finding in zip(run["results"], findings):
+        assert result["ruleId"] == finding.rule
+        assert driver["rules"][result["ruleIndex"]]["id"] == finding.rule
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == finding.line
+        assert location["region"]["startColumn"] == finding.col + 1
+        assert result["partialFingerprints"]["primaryLocationLineHash"] == (
+            reprolint.fingerprint(finding))
+
+
+def test_sarif_validates_clean(tmp_path):
+    doc = sarif.to_sarif(findings_from(tmp_path), reprolint.fingerprint)
+    assert sarif.validate_sarif(doc) == []
+    # an empty run is also valid (the CI artifact on a clean tree)
+    empty = sarif.to_sarif([], reprolint.fingerprint)
+    assert sarif.validate_sarif(empty) == []
+
+
+def test_sarif_validator_catches_breakage(tmp_path):
+    doc = sarif.to_sarif(findings_from(tmp_path), reprolint.fingerprint)
+    doc["version"] = "1.0.0"
+    doc["runs"][0]["results"][0]["ruleId"] = "R99"
+    del doc["runs"][0]["results"][1]["message"]["text"]
+    problems = sarif.validate_sarif(doc)
+    assert any("version" in p for p in problems)
+    assert any("R99" in p for p in problems)
+    assert any("message.text" in p for p in problems)
+
+
+def test_write_sarif_roundtrips_through_json(tmp_path):
+    out = tmp_path / "out.sarif"
+    sarif.write_sarif(str(out), findings_from(tmp_path), reprolint.fingerprint)
+    loaded = json.loads(out.read_text())
+    assert sarif.validate_sarif(loaded) == []
+
+
+def test_cli_sarif_flag_writes_artifact(tmp_path):
+    from tools.reprolint import __main__ as cli
+
+    findings_from(tmp_path)  # materialise the bad tree
+    out = tmp_path / "out.sarif"
+    assert cli.main([str(tmp_path), "--no-cache", "--no-baseline",
+                     "--sarif", str(out)]) == 1
+    loaded = json.loads(out.read_text())
+    assert sarif.validate_sarif(loaded) == []
+    assert loaded["runs"][0]["results"]

@@ -2,11 +2,24 @@
 
 Usage::
 
-    python -m tools.reprolint src/ [--format=json] [--baseline FILE]
+    python -m tools.reprolint src/ tests/ tools/ [--format=json]
+        [--sarif out.sarif] [--fix] [--ratchet] [--stats]
 
-The rule set lives in :mod:`tools.reprolint.rules`; this module adds the
-file walker, per-line suppression comments, and the baseline mechanism
-for grandfathered findings.
+Two kinds of passes:
+
+- **per-file rules R1-R5** (:mod:`tools.reprolint.rules`) -- AST checks
+  that need only one file;
+- **whole-program rules R6-R9** -- a project pass builds a symbol table
+  and import graph (:mod:`tools.reprolint.project`) and runs the
+  layering contract (:mod:`~tools.reprolint.layering`), RNG-taint
+  dataflow (:mod:`~tools.reprolint.rngflow`), and callback-escape /
+  exception-swallowing checks (:mod:`~tools.reprolint.callbacks`).
+
+The engine (:mod:`tools.reprolint.engine`) adds a content-hash
+incremental cache and a parallel file walk; :mod:`~tools.reprolint.autofix`
+implements ``--fix``; :mod:`~tools.reprolint.sarif` emits SARIF 2.1.0;
+:mod:`~tools.reprolint.ratchet` enforces the only-decreasing per-rule
+budgets CI gates on.
 
 Suppression: append ``# reprolint: disable=R1`` (comma-separate several
 rules, or ``disable=all``) to the offending line, ideally with a reason::
@@ -24,9 +37,17 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import re
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from tools.reprolint.engine import (
+    DEFAULT_CACHE,
+    LintPathError,
+    LintResult,
+    LintStats,
+    iter_python_files,
+    run,
+    suppressed_rules,
+)
 from tools.reprolint.rules import RULES, Finding, check_source
 
 __all__ = [
@@ -35,63 +56,45 @@ __all__ = [
     "check_source",
     "lint_source",
     "lint_paths",
+    "run",
+    "LintResult",
+    "LintStats",
+    "LintPathError",
+    "iter_python_files",
     "fingerprint",
     "load_baseline",
     "write_baseline",
+    "split_by_baseline",
+    "to_json",
     "DEFAULT_BASELINE",
+    "DEFAULT_CACHE",
 ]
 
 #: the checked-in baseline of grandfathered findings
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
 
-_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
-
-
-def _suppressed_rules(line_text: str) -> frozenset:
-    match = _SUPPRESS_RE.search(line_text)
-    if match is None:
-        return frozenset()
-    return frozenset(token.strip() for token in match.group(1).split(",") if token.strip())
-
 
 def lint_source(source: str, posix_path: str) -> List[Finding]:
-    """Findings for one in-memory file, per-line suppressions applied."""
+    """Per-file findings for one in-memory file, suppressions applied.
+
+    Runs only the per-file rules (R1-R5); the whole-program rules need
+    a project and are exercised through :func:`run`.
+    """
     lines = source.splitlines()
     kept: List[Finding] = []
     for finding in check_source(source, posix_path):
         line_text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
-        suppressed = _suppressed_rules(line_text)
+        suppressed = suppressed_rules(line_text)
         if finding.rule in suppressed or "all" in suppressed:
             continue
         kept.append(finding)
     return kept
 
 
-def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
-    for path in paths:
-        if os.path.isfile(path):
-            if path.endswith(".py"):
-                yield path
-            continue
-        for dirpath, dirnames, filenames in os.walk(path):
-            dirnames[:] = sorted(
-                d for d in dirnames
-                if not d.startswith(".") and d != "__pycache__" and not d.endswith(".egg-info")
-            )
-            for filename in sorted(filenames):
-                if filename.endswith(".py"):
-                    yield os.path.join(dirpath, filename)
-
-
 def lint_paths(paths: Sequence[str]) -> List[Finding]:
-    """Findings for every ``.py`` under ``paths``, suppressions applied."""
-    findings: List[Finding] = []
-    for filepath in _iter_python_files(paths):
-        with open(filepath, "r", encoding="utf-8") as handle:
-            source = handle.read()
-        posix_path = filepath.replace(os.sep, "/")
-        findings.extend(lint_source(source, posix_path))
-    return findings
+    """All findings (per-file *and* project rules) under ``paths``,
+    suppressions applied, no cache."""
+    return run(paths, cache_path=None).findings
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,206 @@
+"""``--fix``: mechanical autofixes for the mechanical rules.
+
+Two rules have a fix that cannot change behaviour *except* to make it
+deterministic, so the linter applies them itself:
+
+- **R3** -- wrap the offending set iterable in ``sorted(...)``;
+- **R5** -- delete a standalone ``print(...)`` statement; when the call
+  is embedded in a larger statement (guarded prints, expressions), fall
+  back to appending an allowlist suppression comment for a human to
+  justify or remove.
+
+Fixes are computed from a fresh parse of the current file contents and
+applied bottom-up, so earlier edits never shift later offsets.  Running
+``--fix`` twice is a no-op: the first pass removes every fixable
+finding, the second finds nothing to do.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.rules import Finding
+
+FIXABLE_RULES = frozenset({"R3", "R5"})
+
+
+@dataclass
+class FixReport:
+    files_changed: List[str] = field(default_factory=list)
+    fixes_applied: int = 0
+    #: findings we looked at but could not fix mechanically
+    skipped: List[Finding] = field(default_factory=list)
+
+
+@dataclass
+class _Edit:
+    """One text edit; sorted descending so application never shifts
+    positions of edits still to come."""
+
+    line: int           # 1-based
+    col: int            # 0-based
+    kind: str           # "insert" | "delete_lines" | "append"
+    text: str = ""
+    end_line: int = 0   # delete_lines: inclusive range
+
+    def sort_key(self) -> Tuple[int, int]:
+        return (self.line, self.col)
+
+
+class _SiteCollector(ast.NodeVisitor):
+    """Positions of fixable R3 iterables and R5 print statements."""
+
+    def __init__(self) -> None:
+        self.set_iters: Dict[Tuple[int, int], ast.expr] = {}
+        self.print_stmts: Dict[Tuple[int, int], ast.Expr] = {}
+        self.print_calls: Set[Tuple[int, int]] = set()
+
+    def _note_iter(self, iterable: ast.expr) -> None:
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            self.set_iters[(iterable.lineno, iterable.col_offset)] = iterable
+        elif (isinstance(iterable, ast.Call)
+              and isinstance(iterable.func, ast.Name)
+              and iterable.func.id in ("set", "frozenset")):
+            self.set_iters[(iterable.lineno, iterable.col_offset)] = iterable
+
+    def visit_For(self, node: ast.For) -> None:
+        self._note_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for gen in node.generators:  # type: ignore[attr-defined]
+            self._note_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if (isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+                and value.func.id == "print"):
+            self.print_stmts[(value.lineno, value.col_offset)] = node
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            self.print_calls.add((node.lineno, node.col_offset))
+        self.generic_visit(node)
+
+
+def _sole_statements(tree: ast.AST) -> Set[Tuple[int, int]]:
+    """Positions of statements that are the only one in their block --
+    deleting such a statement would leave an empty (invalid) suite."""
+    sole: Set[Tuple[int, int]] = set()
+    for node in ast.walk(tree):
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(node, attr, None)
+            if isinstance(block, list) and len(block) == 1:
+                stmt = block[0]
+                if isinstance(stmt, ast.stmt):
+                    sole.add((stmt.lineno, stmt.col_offset))
+    return sole
+
+
+def _plan_edits(
+    source: str, findings: Sequence[Finding]
+) -> Tuple[List[_Edit], List[Finding]]:
+    tree = ast.parse(source)
+    sites = _SiteCollector()
+    sites.visit(tree)
+    sole = _sole_statements(tree)
+    lines = source.splitlines()
+
+    edits: List[_Edit] = []
+    skipped: List[Finding] = []
+    deleted: Set[int] = set()
+    for finding in findings:
+        key = (finding.line, finding.col)
+        if finding.rule == "R3":
+            node = sites.set_iters.get(key)
+            if node is None or node.end_lineno is None or node.end_col_offset is None:
+                skipped.append(finding)
+                continue
+            edits.append(_Edit(node.end_lineno, node.end_col_offset, "insert", ")"))
+            edits.append(_Edit(node.lineno, node.col_offset, "insert", "sorted("))
+        elif finding.rule == "R5":
+            stmt = sites.print_stmts.get(key)
+            if stmt is not None and stmt.end_lineno is not None:
+                head = lines[stmt.lineno - 1][:stmt.col_offset]
+                tail = lines[stmt.end_lineno - 1][stmt.end_col_offset or 0:]
+                deletable = (stmt.lineno, stmt.col_offset) not in sole
+                if deletable and head.strip() == "" and tail.strip() in ("", "\\"):
+                    if stmt.lineno not in deleted:
+                        deleted.update(range(stmt.lineno, stmt.end_lineno + 1))
+                        edits.append(_Edit(stmt.lineno, 0, "delete_lines",
+                                           end_line=stmt.end_lineno))
+                    continue
+            if key in sites.print_calls or stmt is not None:
+                # embedded print: annotate for a human to justify
+                edits.append(_Edit(
+                    finding.line, 0, "append",
+                    "  # reprolint: disable=R5 -- TODO: justify or remove",
+                ))
+            else:
+                skipped.append(finding)
+        else:
+            skipped.append(finding)
+    return edits, skipped
+
+
+def _apply_edits(source: str, edits: List[_Edit]) -> str:
+    lines = source.splitlines(keepends=True)
+    for edit in sorted(edits, key=_Edit.sort_key, reverse=True):
+        if edit.kind == "insert":
+            row = edit.line - 1
+            text = lines[row]
+            lines[row] = text[:edit.col] + edit.text + text[edit.col:]
+        elif edit.kind == "delete_lines":
+            del lines[edit.line - 1: edit.end_line]
+        elif edit.kind == "append":
+            row = edit.line - 1
+            text = lines[row]
+            stripped = text.rstrip("\r\n")
+            newline = text[len(stripped):]
+            lines[row] = stripped + edit.text + newline
+    return "".join(lines)
+
+
+def apply_fixes(findings: Sequence[Finding]) -> FixReport:
+    """Rewrite files in place for every fixable finding; returns what
+    changed.  Unfixable findings are reported, not touched."""
+    report = FixReport()
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        if finding.rule in FIXABLE_RULES:
+            by_path.setdefault(finding.path, []).append(finding)
+        else:
+            pass  # only R3/R5 are mechanical; others need a human
+    for path in sorted(by_path):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        edits, skipped = _plan_edits(source, by_path[path])
+        report.skipped.extend(skipped)
+        if not edits:
+            continue
+        fixed = _apply_edits(source, edits)
+        if fixed != source:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(fixed)
+            report.files_changed.append(path)
+            report.fixes_applied += sum(
+                1 for e in edits if e.kind != "insert") + sum(
+                1 for e in edits if e.kind == "insert") // 2
+    return report
+
+
+def fix_paths(paths: Sequence[str], cache_path: Optional[str] = None) -> FixReport:
+    """Convenience wrapper: lint then fix (used by tests and the CLI)."""
+    from tools.reprolint import engine
+
+    result = engine.run(paths, cache_path=cache_path)
+    return apply_fixes(result.findings)

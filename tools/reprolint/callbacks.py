@@ -1,0 +1,148 @@
+"""R8/R9: inter-procedural callback hygiene.
+
+R4 checks the *syntactic* argument of ``Sim.schedule``; these passes
+resolve the callback through the symbol table, so aliasing no longer
+hides a closure:
+
+- **R8** -- a schedule-family callback that resolves (through local
+  aliases, ``functools.partial`` wrappers, or imported module-level
+  bindings) to a lambda or nested function.  Bound methods and
+  module-level functions stay allowed, however they are spelled.
+- **R9** -- a resolved callback whose body swallows exceptions: a
+  bare/broad ``except`` with no ``raise``.  An event handler that eats
+  its error keeps the run alive but silently desynchronised -- the
+  selfcheck digest diverges with no traceback to explain why, which is
+  strictly worse than crashing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from tools.reprolint.project import FunctionFact, ModuleFacts, ProjectIndex
+from tools.reprolint.rules import Finding, is_sim_pure
+
+
+def _line_text(sources: Dict[str, List[str]], path: str, line: int) -> str:
+    lines = sources.get(path, [])
+    return lines[line - 1].rstrip() if 0 < line <= len(lines) else ""
+
+
+def _resolve_target(
+    index: ProjectIndex,
+    facts: ModuleFacts,
+    owner: FunctionFact,
+    target: str,
+    depth: int = 0,
+) -> Tuple[str, Optional[Tuple[str, str]]]:
+    """Resolve a callback descriptor.
+
+    Returns ``(verdict, function_key)`` where verdict is one of
+    ``"ok"``, ``"lambda"``, ``"nested"``, ``"module-lambda"``,
+    ``"unknown"`` and function_key locates the resolved
+    :class:`FunctionFact` (for R9) when there is one.
+    """
+    if depth > 4:
+        return ("unknown", None)
+    if target == "lambda":
+        return ("lambda", None)
+    if target.startswith("nested:"):
+        return ("nested", None)
+    if target.startswith("partial:"):
+        return _resolve_target(index, facts, owner, target.split(":", 1)[1], depth + 1)
+    if target.startswith("bound:self."):
+        method = target.split(".", 1)[1]
+        if owner.owner_class:
+            key = (facts.module, f"{owner.owner_class}.{method}")
+            if key in index.functions:
+                return ("ok", key)
+        return ("ok", None)
+    if target.startswith("bound:"):
+        return ("ok", None)  # someone else's bound method: named, fine
+    if target.startswith("nameref:"):
+        name = target.split(":", 1)[1]
+        # nested def aliased through a local? the per-file pass already
+        # described assignments; a surviving nameref is module-level or
+        # imported.
+        if name in facts.lambda_globals:
+            return ("module-lambda", None)
+        key = (facts.module, name)
+        if key in index.functions:
+            return ("ok", key)
+        imported = index.resolve_imported_symbol(facts, name)
+        if imported is not None:
+            target_module, symbol = imported
+            target_facts = index.modules.get(target_module)
+            if target_facts is not None:
+                if symbol in target_facts.lambda_globals:
+                    return ("module-lambda", (target_module, symbol))
+                imported_key = (target_module, symbol)
+                if imported_key in index.functions:
+                    return ("ok", imported_key)
+        return ("unknown", None)
+    return ("unknown", None)
+
+
+def check_callbacks(
+    index: ProjectIndex, sources: Dict[str, List[str]]
+) -> List[Finding]:
+    """All R8 findings, and the R9 findings over resolved targets."""
+    findings: List[Finding] = []
+    #: every function that is scheduled somewhere, for R9
+    scheduled: Set[Tuple[str, str]] = set()
+    scheduled_sites: Dict[Tuple[str, str], Tuple[str, int]] = {}
+
+    for module in sorted(index.modules):
+        facts = index.modules[module]
+        if not is_sim_pure(facts.path):
+            continue
+        for fn in facts.functions:
+            for ref in fn.callback_refs:
+                verdict, key = _resolve_target(index, facts, fn, ref.target)
+                if key is not None:
+                    scheduled.add(key)
+                    scheduled_sites.setdefault(key, (facts.path, ref.line))
+                if verdict == "lambda":
+                    findings.append(Finding(
+                        facts.path, ref.line, ref.col, "R8",
+                        f"{ref.call}() callback is a lambda (reached through "
+                        "an alias); use a bound method or module-level function",
+                        _line_text(sources, facts.path, ref.line),
+                    ))
+                elif verdict == "nested":
+                    findings.append(Finding(
+                        facts.path, ref.line, ref.col, "R8",
+                        f"{ref.call}() callback resolves to a nested function "
+                        "(closure); use a bound method or module-level function",
+                        _line_text(sources, facts.path, ref.line),
+                    ))
+                elif verdict == "module-lambda":
+                    findings.append(Finding(
+                        facts.path, ref.line, ref.col, "R8",
+                        f"{ref.call}() callback resolves to a module-level "
+                        "lambda binding; promote it to a def",
+                        _line_text(sources, facts.path, ref.line),
+                    ))
+
+    # R9: swallowed exceptions inside anything that runs as an event
+    for key in sorted(scheduled):
+        fn = index.functions.get(key)
+        if fn is None:
+            continue
+        module, qualname = key
+        facts = index.modules[module]
+        for handler in fn.broad_excepts:
+            if handler.reraises:
+                continue
+            where = ("bare except" if handler.kind == "bare"
+                     else f"except {handler.kind}")
+            site_path, site_line = scheduled_sites.get(key, (facts.path, fn.line))
+            findings.append(Finding(
+                facts.path, handler.line, handler.col, "R9",
+                f"scheduled callback {qualname}() swallows errors ({where} "
+                f"with no raise; scheduled at {site_path}:{site_line}) -- a "
+                "silently-eaten exception desynchronises replay; let it "
+                "propagate or convert it to an explicit failure",
+                _line_text(sources, facts.path, handler.line),
+            ))
+    return findings

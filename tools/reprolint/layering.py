@@ -1,0 +1,188 @@
+"""R6: the module layering contract.
+
+The reproduction's packages form an intended DAG (documented in
+``docs/STATIC_ANALYSIS.md``); refactors like the hybrid fluid/packet
+core and the real-UDP transport depend on it staying acyclic.  This
+pass resolves every import edge (including ``TYPE_CHECKING``-only ones
+-- a type-only back edge is still a cycle waiting to be materialised)
+and flags:
+
+- edges between ``repro`` layers the contract does not allow, and
+- module-level import cycles anywhere in the scanned tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from tools.reprolint.project import ProjectIndex
+from tools.reprolint.rules import Finding
+
+#: every layer name; TOP layers may import anything
+_ALL = frozenset(
+    {"util", "sanitize", "_version", "dnscore", "obs", "netsim", "server",
+     "dcc", "workloads", "measure", "analysis", "fuzz", "experiments",
+     "cli", "__main__", "<root>"}
+)
+
+#: the intended DAG: layer -> layers it may import (itself always allowed)
+DEFAULT_CONTRACT: Dict[str, FrozenSet[str]] = {
+    "_version": frozenset(),
+    "sanitize": frozenset(),
+    "util": frozenset({"sanitize", "_version"}),
+    "dnscore": frozenset({"util", "sanitize", "_version"}),
+    "obs": frozenset({"util", "dnscore", "sanitize", "_version"}),
+    "netsim": frozenset({"util", "dnscore", "obs", "sanitize", "_version"}),
+    "server": frozenset({"netsim", "dnscore", "util", "obs", "sanitize", "_version"}),
+    "dcc": frozenset({"netsim", "dnscore", "util", "obs", "sanitize", "_version"}),
+    "workloads": frozenset({"dcc", "server", "netsim", "dnscore", "util", "obs",
+                            "sanitize", "_version"}),
+    "measure": frozenset({"workloads", "server", "netsim", "dnscore", "util",
+                          "obs", "sanitize", "_version"}),
+    "analysis": frozenset({"obs", "util", "dnscore", "sanitize", "_version"}),
+    "fuzz": frozenset({"workloads", "dcc", "server", "netsim", "dnscore",
+                       "util", "obs", "sanitize", "_version"}),
+    "experiments": _ALL,
+    "cli": _ALL,
+    "__main__": _ALL,
+    "<root>": _ALL,
+}
+
+
+def repro_layer(module: str) -> str:
+    """The layer of a ``repro`` module; "" for anything else.
+
+    ``repro.dcc.mopifq`` -> ``dcc``; ``repro.sanitize`` -> ``sanitize``;
+    the facade ``repro`` itself -> ``<root>``.
+    """
+    if module == "repro":
+        return "<root>"
+    if not module.startswith("repro."):
+        return ""
+    return module.split(".")[1]
+
+
+def _line_text(sources: Dict[str, List[str]], path: str, line: int) -> str:
+    lines = sources.get(path, [])
+    return lines[line - 1].rstrip() if 0 < line <= len(lines) else ""
+
+
+def check_layering(
+    index: ProjectIndex,
+    sources: Dict[str, List[str]],
+    contract: Dict[str, FrozenSet[str]] = DEFAULT_CONTRACT,
+) -> List[Finding]:
+    """All R6 findings: contract violations plus import cycles."""
+    findings: List[Finding] = []
+    for module in sorted(index.modules):
+        facts = index.modules[module]
+        layer = repro_layer(module)
+        if not layer:
+            continue  # tests/tools/examples sit above the contract
+        allowed = contract.get(layer, _ALL)
+        seen: set = set()
+        for target, imp in index.resolve_import_targets(facts):
+            target_layer = repro_layer(target)
+            if not target_layer or target_layer == layer:
+                continue
+            if target_layer in allowed:
+                continue
+            key = (target_layer, imp.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            qualifier = " (TYPE_CHECKING-only, still a layering edge)" if imp.type_only else ""
+            findings.append(Finding(
+                facts.path, imp.line, imp.col, "R6",
+                f"layering violation: '{layer}' may not import '{target_layer}'"
+                f" ({module} -> {target}){qualifier}",
+                _line_text(sources, facts.path, imp.line),
+            ))
+    findings.extend(_check_cycles(index, sources))
+    return findings
+
+
+def _check_cycles(
+    index: ProjectIndex, sources: Dict[str, List[str]]
+) -> List[Finding]:
+    """Tarjan SCCs over the module graph; any SCC > 1 is a cycle."""
+    graph = index.import_graph(include_type_only=True)
+    order: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    counter = [0]
+    sccs: List[List[str]] = []
+
+    def strongconnect(node: str) -> None:
+        # iterative Tarjan (the tree is shallow, but recursion limits are
+        # not a failure mode a linter should have)
+        work: List[Tuple[str, int]] = [(node, 0)]
+        while work:
+            current, edge_index = work.pop()
+            if edge_index == 0:
+                order[current] = low[current] = counter[0]
+                counter[0] += 1
+                stack.append(current)
+                on_stack[current] = True
+            recursed = False
+            neighbours = graph.get(current, [])
+            for i in range(edge_index, len(neighbours)):
+                neighbour = neighbours[i]
+                if neighbour not in order:
+                    work.append((current, i + 1))
+                    work.append((neighbour, 0))
+                    recursed = True
+                    break
+                if on_stack.get(neighbour):
+                    low[current] = min(low[current], order[neighbour])
+            if recursed:
+                continue
+            if low[current] == order[current]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == current:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[current])
+
+    for module in sorted(graph):
+        if module not in order:
+            strongconnect(module)
+
+    findings: List[Finding] = []
+    for component in sorted(sccs):
+        member_set = set(component)
+        # anchor the finding at each in-cycle import site (one per line)
+        reported: set = set()
+        for module in component:
+            facts = index.modules[module]
+            for target, imp in index.resolve_import_targets(facts):
+                if (module, target, imp.line) in reported:
+                    continue
+                reported.add((module, target, imp.line))
+                if target in member_set and target != module:
+                    qualifier = " via TYPE_CHECKING" if imp.type_only else ""
+                    findings.append(Finding(
+                        facts.path, imp.line, imp.col, "R6",
+                        f"import cycle{qualifier}: "
+                        + " <-> ".join(component),
+                        _line_text(sources, facts.path, imp.line),
+                    ))
+    return findings
+
+
+def render_contract(contract: Dict[str, FrozenSet[str]] = DEFAULT_CONTRACT) -> str:
+    """Human-readable contract dump (``--explain-layers``)."""
+    lines = ["layer contract (layer -> may import):"]
+    for layer in sorted(contract):
+        allowed = contract[layer]
+        label = "anything" if allowed == _ALL else ", ".join(sorted(allowed)) or "(nothing)"
+        lines.append(f"  {layer:<12} -> {label}")
+    return "\n".join(lines)

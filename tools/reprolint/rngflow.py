@@ -1,0 +1,158 @@
+"""R7: RNG-taint dataflow.
+
+Determinism requires every random draw in simulation code to come from
+a seeded, *injected* stream (``sim.rng("name")`` or an ``rng``
+parameter).  The per-file R1 rule catches direct ``random.*`` calls;
+this pass follows RNG **objects** across functions and modules:
+
+- an RNG stored on a module global is shared ambient state -- two call
+  sites that race over it couple their streams, and reordering either
+  one silently changes every later draw (flagged at the binding);
+- a draw whose receiver resolves -- through local aliases, imported
+  names, or helper functions that *return* an RNG -- to such a global
+  is flagged at the draw site;
+- an unseeded ``random.Random()`` constructed anywhere in the scanned
+  tree (including experiment drivers and the CLI, which R1 exempts) is
+  flagged: that is where broken seed plumbing actually starts.
+
+Receivers that trace to a parameter, ``self`` state, ``sim.rng(...)``,
+or a locally seeded ``random.Random(seed)`` are clean; unresolvable
+receivers are given the benefit of the doubt (precision over recall --
+the fuzzer and selfcheck catch what slips through).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from tools.reprolint.project import FunctionFact, ModuleFacts, ProjectIndex
+from tools.reprolint.rules import Finding, is_sim_pure
+
+#: receiver descriptors that are deterministic by construction
+_CLEAN_PREFIXES = ("param:", "bound:self.", "self")
+_CLEAN_EXACT = frozenset({"seeded_local", "sim_rng", "bound", "opaque"})
+
+
+def _line_text(sources: Dict[str, List[str]], path: str, line: int) -> str:
+    lines = sources.get(path, [])
+    return lines[line - 1].rstrip() if 0 < line <= len(lines) else ""
+
+
+def _rng_global_origin(
+    index: ProjectIndex, facts: ModuleFacts, name: str
+) -> Optional[Tuple[str, str]]:
+    """(module, global) when ``name`` in ``facts`` is a module-level RNG."""
+    for global_name, _line, _col in facts.rng_globals:
+        if global_name == name:
+            return (facts.module, name)
+    imported = index.resolve_imported_symbol(facts, name)
+    if imported is not None:
+        target_module, symbol = imported
+        target = index.modules.get(target_module)
+        if target is not None:
+            for global_name, _line, _col in target.rng_globals:
+                if global_name == symbol:
+                    return (target_module, symbol)
+    return None
+
+
+def _returned_rng(
+    index: ProjectIndex, facts: ModuleFacts, callee: str
+) -> str:
+    """Resolved returns_rng descriptor of a called local/imported/method
+    function; ``nameref:`` returns are resolved against the *callee's*
+    module so helpers like ``def get_rng(): return _RNG`` taint callers.
+    """
+    home = facts
+    fn = index.functions.get((facts.module, callee))
+    if fn is None:
+        imported = index.resolve_imported_symbol(facts, callee)
+        if imported is not None:
+            fn = index.functions.get(imported)
+            if fn is not None:
+                home = index.modules[imported[0]]
+    if fn is None:
+        # method call on self: try every class of the module
+        for class_name in sorted(facts.classes):
+            candidate = index.functions.get((facts.module, f"{class_name}.{callee}"))
+            if candidate is not None:
+                fn = candidate
+                break
+    if fn is None:
+        return ""
+    returned = fn.returns_rng
+    if returned.startswith("nameref:"):
+        origin = _rng_global_origin(index, home, returned.split(":", 1)[1])
+        if origin is not None:
+            return f"global:{origin[1]}"
+        return ""
+    return returned
+
+
+def _resolve_draw(
+    index: ProjectIndex, facts: ModuleFacts, fn: FunctionFact, receiver: str
+) -> Optional[str]:
+    """None when clean; otherwise a short reason string for the finding."""
+    if receiver.startswith(_CLEAN_PREFIXES) or receiver in _CLEAN_EXACT:
+        return None
+    if receiver == "unseeded_local":
+        return None  # flagged once at the construction site below
+    if receiver.startswith("nameref:"):
+        name = receiver.split(":", 1)[1]
+        origin = _rng_global_origin(index, facts, name)
+        if origin is not None:
+            module, global_name = origin
+            return (f"draws from module-global RNG '{global_name}' "
+                    f"(defined in {module}); inject an rng parameter or a "
+                    f"sim.rng(...) stream instead")
+        return None
+    if receiver.startswith("call:") or receiver.startswith("callattr:"):
+        callee = receiver.split(":", 1)[1]
+        returned = _returned_rng(index, facts, callee)
+        if returned.startswith("global:"):
+            global_name = returned.split(":", 1)[1]
+            return (f"draws from module-global RNG '{global_name}' through "
+                    f"{callee}(); thread the rng explicitly")
+        return None
+    return None
+
+
+def check_rng_flow(
+    index: ProjectIndex, sources: Dict[str, List[str]]
+) -> List[Finding]:
+    """All R7 findings across the project."""
+    findings: List[Finding] = []
+    for module in sorted(index.modules):
+        facts = index.modules[module]
+        sim_pure = is_sim_pure(facts.path)
+        if sim_pure:
+            for global_name, line, col in facts.rng_globals:
+                findings.append(Finding(
+                    facts.path, line, col, "R7",
+                    f"RNG object stored on module global '{global_name}'; "
+                    "module state couples every consumer's stream -- inject "
+                    "it (constructor arg or sim.rng(...)) instead",
+                    _line_text(sources, facts.path, line),
+                ))
+        for fn in facts.functions:
+            if sim_pure:
+                for draw in fn.draws:
+                    reason = _resolve_draw(index, facts, fn, draw.receiver)
+                    if reason is not None:
+                        findings.append(Finding(
+                            facts.path, draw.line, draw.col, "R7",
+                            f"{fn.qualname}() {reason}",
+                            _line_text(sources, facts.path, draw.line),
+                        ))
+            if not sim_pure:
+                # unseeded construction is a seed-plumbing hole wherever
+                # it happens -- experiments, the CLI, analysis -- not
+                # just in the sim-pure packages R1 watches
+                for line, col in fn.unseeded:
+                    findings.append(Finding(
+                        facts.path, line, col, "R7",
+                        f"{fn.qualname}() constructs unseeded random.Random(); "
+                        "plumb an explicit seed so the run is replayable",
+                        _line_text(sources, facts.path, line),
+                    ))
+    return findings

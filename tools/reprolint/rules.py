@@ -71,12 +71,21 @@ ENQUEUE_SINKS = frozenset(
 #: schedule-family calls whose callback argument position R4 checks
 SCHEDULE_CALLBACK_ARG = {"schedule": 1, "schedule_at": 1, "call_soon": 0}
 
+#: paths where the order-sensitivity rule (R3) applies beyond the
+#: sim-pure packages: tests and tools feed golden outputs and baselines,
+#: so iteration order leaks into checked-in artifacts there too
+ORDER_SCOPE_FRAGMENTS: Tuple[str, ...] = ("tests/", "tools/")
+
 RULES: Dict[str, str] = {
     "R1": "wall-clock or process-global randomness in simulation code",
     "R2": "mutation of an object after it was enqueued/sent",
-    "R3": "iteration over a set (non-deterministic order) in simulation code",
+    "R3": "iteration over a set (non-deterministic order) in order-sensitive code",
     "R4": "Sim.schedule callback is a lambda or nested function (closure)",
     "R5": "print() outside the CLI/experiment drivers",
+    "R6": "module import violates the layering contract, or an import cycle",
+    "R7": "RNG-taint: module-global RNG, global-RNG draw, or unseeded Random()",
+    "R8": "schedule callback resolves to a closure through alias/partial/import",
+    "R9": "scheduled callback swallows exceptions (broad except, no raise)",
 }
 
 
@@ -95,8 +104,20 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
 
 
-def _is_sim_pure(posix_path: str) -> bool:
+def is_sim_pure(posix_path: str) -> bool:
+    """True when R1/R2/R4 (and the R7-R9 project rules) apply."""
     return any(fragment in posix_path for fragment in SIM_PURE_FRAGMENTS)
+
+
+def is_order_sensitive(posix_path: str) -> bool:
+    """True when the R3 set-iteration rule applies."""
+    return is_sim_pure(posix_path) or any(
+        fragment in posix_path for fragment in ORDER_SCOPE_FRAGMENTS
+    )
+
+
+# back-compat aliases (pre-R6 API)
+_is_sim_pure = is_sim_pure
 
 
 def _is_print_allowed(posix_path: str) -> bool:
@@ -131,7 +152,8 @@ class _FileChecker(ast.NodeVisitor):
     def __init__(self, posix_path: str, source_lines: Sequence[str]) -> None:
         self.path = posix_path
         self.lines = source_lines
-        self.sim_pure = _is_sim_pure(posix_path)
+        self.sim_pure = is_sim_pure(posix_path)
+        self.order_sensitive = is_order_sensitive(posix_path)
         self.print_allowed = _is_print_allowed(posix_path)
         self.findings: List[Finding] = []
         #: names bound by ``from time import time``-style imports
@@ -316,7 +338,7 @@ class _FileChecker(ast.NodeVisitor):
     visit_GeneratorExp = _visit_comprehension
 
     def _check_r3(self, iterable: ast.expr) -> None:
-        if not self.sim_pure:
+        if not self.order_sensitive:
             return
         if isinstance(iterable, (ast.Set, ast.SetComp)):
             self._add(iterable, "R3", "iteration over a set literal/comprehension; "
@@ -341,9 +363,14 @@ class _ScopeState:
         self.lambda_names: Set[str] = set()
 
 
+def check_tree(tree: ast.AST, posix_path: str, lines: Sequence[str]) -> List[Finding]:
+    """All raw per-file findings for a parsed module (no suppressions)."""
+    checker = _FileChecker(posix_path, lines)
+    checker.visit(tree)
+    return sorted(checker.findings, key=lambda f: (f.line, f.col, f.rule))
+
+
 def check_source(source: str, posix_path: str) -> List[Finding]:
     """All raw findings for one file (suppressions NOT yet applied)."""
     tree = ast.parse(source, filename=posix_path)
-    checker = _FileChecker(posix_path, source.splitlines())
-    checker.visit(tree)
-    return sorted(checker.findings, key=lambda f: (f.line, f.col, f.rule))
+    return check_tree(tree, posix_path, source.splitlines())

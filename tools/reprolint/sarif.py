@@ -1,0 +1,151 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+One run, one driver ("reprolint"), one result per finding.  The
+``partialFingerprints.primaryLocationLineHash`` carries the same
+line-number-independent fingerprint the baseline uses, so code-scanning
+alert identity survives unrelated edits exactly like the baseline does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Sequence
+
+from tools.reprolint.rules import RULES, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: rules whose findings block merges read as "error"; pure hygiene as
+#: "warning" (SARIF `level`)
+_LEVELS: Dict[str, str] = {
+    "R1": "error", "R2": "error", "R3": "error", "R4": "error",
+    "R5": "warning", "R6": "error", "R7": "error", "R8": "error",
+    "R9": "error",
+}
+
+_RULE_HELP: Dict[str, str] = {
+    "R1": "Use Sim.now for time and an injected random.Random for randomness.",
+    "R2": "Write every field before the enqueue/send handoff.",
+    "R3": "Iterate sorted(...) views or lists/dicts, never raw sets.",
+    "R4": "Schedule bound methods or module-level functions only.",
+    "R5": "Report through return values/stats; print belongs to drivers.",
+    "R6": "Respect the package layering DAG in docs/STATIC_ANALYSIS.md.",
+    "R7": "Thread seeded RNG streams explicitly; never share one via a module global.",
+    "R8": "Aliased/partial-wrapped callbacks must still resolve to named callables.",
+    "R9": "Let event-handler exceptions propagate; a swallowed error desyncs replay.",
+}
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    fingerprint: Callable[[Finding], str],
+) -> Dict[str, object]:
+    """The SARIF document as a plain dict."""
+    rules: List[Dict[str, object]] = []
+    for rule_id in sorted(RULES):
+        rules.append({
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": RULES[rule_id]},
+            "help": {"text": _RULE_HELP.get(rule_id, RULES[rule_id])},
+            "defaultConfiguration": {"level": _LEVELS.get(rule_id, "warning")},
+        })
+    rule_index = {rule_id: i for i, rule_id in enumerate(sorted(RULES))}
+
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index.get(finding.rule, -1),
+            "level": _LEVELS.get(finding.rule, "warning"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                        "snippet": {"text": finding.line_text},
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "primaryLocationLineHash": fingerprint(finding),
+            },
+        })
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri":
+                        "https://github.com/paper-repro/dns-congestion-control"
+                        "/blob/main/docs/STATIC_ANALYSIS.md",
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def write_sarif(
+    path: str,
+    findings: Sequence[Finding],
+    fingerprint: Callable[[Finding], str],
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_sarif(findings, fingerprint), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def validate_sarif(doc: Dict[str, object]) -> List[str]:
+    """Structural validation against the parts of the 2.1.0 schema we
+    emit (stdlib-only; the full JSON Schema needs jsonschema).  Returns
+    a list of problems, empty when valid.
+    """
+    problems: List[str] = []
+    if doc.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty array"]
+    for run_index, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver", {}) if isinstance(run, dict) else {}
+        if not driver.get("name"):
+            problems.append(f"runs[{run_index}].tool.driver.name missing")
+        declared = {r.get("id") for r in driver.get("rules", [])}
+        results = run.get("results", []) if isinstance(run, dict) else []
+        if not isinstance(results, list):
+            problems.append(f"runs[{run_index}].results must be an array")
+            continue
+        for i, result in enumerate(results):
+            where = f"runs[{run_index}].results[{i}]"
+            if not isinstance(result.get("message", {}).get("text"), str):
+                problems.append(f"{where}.message.text missing")
+            if result.get("ruleId") not in declared:
+                problems.append(f"{where}.ruleId {result.get('ruleId')!r} not declared")
+            locations = result.get("locations")
+            if not isinstance(locations, list) or not locations:
+                problems.append(f"{where}.locations missing")
+                continue
+            physical = locations[0].get("physicalLocation", {})
+            if not physical.get("artifactLocation", {}).get("uri"):
+                problems.append(f"{where} artifactLocation.uri missing")
+            region = physical.get("region", {})
+            start_line = region.get("startLine")
+            if not isinstance(start_line, int) or start_line < 1:
+                problems.append(f"{where} region.startLine must be a positive int")
+    return problems
