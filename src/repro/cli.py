@@ -16,6 +16,8 @@ regenerated without writing Python:
     python -m repro obs --scale 0.15     # observed run, exports traces
     python -m repro fuzz --seed 42 --iterations 25  # scenario fuzzing
     python -m repro lint                 # reprolint over src/ tests/ tools/
+    python -m repro live --duration 2 --seed 1  # real-socket smoke (UDP backend)
+    python -m repro bench                # perf baseline BENCH_<shortrev>.json
     python -m repro all --scale 0.1      # everything, quick settings
 """
 
@@ -139,6 +141,27 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--quiet", action="store_true",
                       help="suppress the live verdict-log tail")
 
+    live = sub.add_parser(
+        "live",
+        help="benign+NX-flood smoke over real asyncio UDP sockets "
+        "(transport backend + chaos proxy); writes results/live_smoke.txt",
+    )
+    live.add_argument(
+        "live_args", nargs=argparse.REMAINDER, metavar="ARGS",
+        help="flags forwarded to repro.experiments.live_smoke "
+        "(--duration, --seed, --loss, --min-goodput, --check-against, ...)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="time MOPI-FQ, the event loop, and fig10-quick; "
+        "writes BENCH_<shortrev>.json (perf baseline trajectory)",
+    )
+    bench.add_argument(
+        "bench_args", nargs=argparse.REMAINDER, metavar="ARGS",
+        help="flags forwarded to repro.experiments.bench (--ops, --events, --out-dir)",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the reprolint static analyzer (rules R1-R9); defaults "
@@ -237,6 +260,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         # forwarded verbatim: argparse's REMAINDER drops leading flags
         # (bpo-17050), so lint never goes through the parser
         return _cmd_lint(tokens[1:])
+    if tokens and tokens[0] == "live":
+        # same REMAINDER caveat: the smoke driver owns its own argparse
+        from repro.experiments import live_smoke
+
+        return live_smoke.main(tokens[1:])
+    if tokens and tokens[0] == "bench":
+        from repro.experiments import bench
+
+        return bench.main(tokens[1:])
     args = _build_parser().parse_args(tokens)
 
     if args.command == "fig2":

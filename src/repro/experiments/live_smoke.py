@@ -1,0 +1,365 @@
+"""``repro live``: the benign+NX-flood scenario over real UDP sockets.
+
+This is the socket-backend twin of the Table 2 NX-flood setup and the
+proof obligation of the transport tentpole: the *same* resolver, DCC
+shim, MOPI-FQ, policing, and health modules that produce every virtual
+figure are attached to :class:`repro.transport.udp.UdpFabric` and
+exercised over real localhost datagrams, with the chaos proxy
+interposed on the resolver<->authoritative channel (the paper's RA
+channel, Section 2.3).
+
+Topology::
+
+    benign EngineClient ──┐                         ┌─> root auth
+    attack EngineClient ──┴─> resolver (+DCC shim) ─┤
+                                                    └─> [chaos proxy] ─> target auth
+
+Determinism contract (acceptance criterion): wall-clock jitter may move
+*when* things happen, but every count printed on the
+``deterministic-counts:`` line is a pure function of the seed --
+workloads are count-based with seeded gaps, chaos fates are keyed on
+(seed, direction, qname, occurrence) rather than packet order, client
+engines are configured so their RTO can never race the resolver's
+answer, and the resolver's retry ladder finishes far inside the client
+deadline.  Attack-side *answer* composition is timing-sensitive
+(conviction windows run on real time) and deliberately excluded.
+
+The run fails (non-zero exit) on: any in-flight-table liveness
+violation (a query past deadline+grace with no verdict -- a silent
+hang), any event-loop callback exception, any TCP-path error, goodput
+below ``--min-goodput``, or a ``deterministic-counts`` mismatch against
+``--check-against``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.dcc.mopifq import MopiFqConfig
+from repro.dcc.shim import DccConfig, DccShim
+from repro.dnscore.name import Name
+from repro.server.authoritative import AuthoritativeServer
+from repro.server.health import HealthConfig
+from repro.server.resolver import RecursiveResolver, ResolverConfig
+from repro.transport.chaosproxy import ChaosProxy, ChaosSpec
+from repro.transport.engine import EngineClient, EngineConfig
+from repro.transport.udp import UdpBackend
+from repro.workloads.zonegen import build_root_zone, build_target_zone
+
+TARGET_ORIGIN = "target-domain."
+ROOT_ADDR = "10.0.0.1"
+TARGET_ANS_ADDR = "10.0.3.1"
+RESOLVER_ADDR = "10.0.1.1"
+BENIGN_ADDR = "10.0.9.1"
+ATTACK_ADDR = "10.0.9.66"
+
+#: extra real time allowed after the send phase for tails to drain
+#: (client deadline + liveness grace)
+_DRAIN_GRACE = 1.0
+
+
+@dataclass
+class LiveConfig:
+    seed: int = 1
+    duration: float = 2.0
+    benign_rate: float = 25.0
+    attack_rate: float = 150.0
+    loss: float = 0.0
+    duplicate: float = 0.0
+    delay_prob: float = 0.0
+    delay_min: float = 0.005
+    delay_max: float = 0.030
+    #: MOPI-FQ capacity of the resolver->target channel (qps)
+    channel_capacity: float = 300.0
+    #: client engines give up on a query after this long
+    client_deadline: float = 4.0
+    min_goodput: Optional[float] = None
+
+
+@dataclass
+class LiveReport:
+    config: LiveConfig
+    counts: Dict[str, int] = field(default_factory=dict)
+    info: Dict[str, Any] = field(default_factory=dict)
+    liveness: List[str] = field(default_factory=list)
+    loop_errors: List[str] = field(default_factory=list)
+    tcp_errors: List[str] = field(default_factory=list)
+
+    def deterministic_line(self) -> str:
+        parts = [f"{key}={self.counts[key]}" for key in sorted(self.counts)]
+        return "deterministic-counts: " + " ".join(parts)
+
+    @property
+    def goodput(self) -> float:
+        sent = self.counts.get("benign_sent", 0)
+        return self.counts.get("benign_noerror", 0) / sent if sent else 0.0
+
+    def failures(self) -> List[str]:
+        problems = list(self.liveness)
+        problems.extend(f"event-loop error: {err}" for err in self.loop_errors)
+        problems.extend(f"tcp error: {err}" for err in self.tcp_errors)
+        floor = self.config.min_goodput
+        if floor is not None and self.goodput < floor:
+            problems.append(
+                f"benign goodput {self.goodput:.3f} below required {floor:.3f}"
+            )
+        return problems
+
+
+def _benign_name(i: int) -> Name:
+    # unique cache-missing names under the wildcard subtree
+    return Name.from_text(f"q{i:05d}.wc.{TARGET_ORIGIN}")
+
+
+def _attack_name(i: int) -> Name:
+    # the NX flood: unique non-existent names (paper Table 2 "NX")
+    return Name.from_text(f"x{i:05d}.nx.{TARGET_ORIGIN}")
+
+
+def _client_engine_config(cfg: LiveConfig) -> EngineConfig:
+    # rto_min above the resolver's worst-case answer latency: client
+    # verdicts then depend only on *whether* the resolver answers (a
+    # seeded-fault function), never on wall-clock answer timing
+    return EngineConfig(
+        retries=1,
+        deadline=cfg.client_deadline,
+        inflight_capacity=512,
+        health=HealthConfig(
+            mode="adaptive", base_timeout=3.0, rto_min=3.0, rto_max=3.5,
+            failure_threshold=0,
+        ),
+    )
+
+
+def _resolver_config() -> ResolverConfig:
+    # adaptive mode = the RFC 6298 estimator + Karn's rule over real RTT
+    # samples; breaker off so goodput under injected loss is a pure
+    # per-query retry ladder (three attempts, RTO-backed-off)
+    return ResolverConfig(
+        qname_minimization=False,
+        max_retries=2,
+        health=HealthConfig(
+            mode="adaptive", base_timeout=0.3, rto_min=0.1, rto_max=2.0,
+            failure_threshold=0,
+        ),
+    )
+
+
+async def _run_async(cfg: LiveConfig) -> LiveReport:
+    report = LiveReport(config=cfg)
+    backend = UdpBackend(seed=cfg.seed)
+
+    root_zone = build_root_zone({TARGET_ORIGIN: ("ns1.target-domain.", TARGET_ANS_ADDR)})
+    target_zone = build_target_zone(TARGET_ORIGIN, "ns1", TARGET_ANS_ADDR)
+    root = AuthoritativeServer(ROOT_ADDR, zones=[root_zone])
+    target = AuthoritativeServer(
+        TARGET_ANS_ADDR, zones=[target_zone], udp_payload_limit=1232
+    )
+
+    resolver = RecursiveResolver(RESOLVER_ADDR, _resolver_config())
+    resolver.add_root_hint("a.root-servers.net.", ROOT_ADDR)
+    shim = DccShim(
+        resolver,
+        DccConfig(scheduler=MopiFqConfig(default_channel_rate=cfg.channel_capacity * 10)),
+    )
+    shim.set_channel_capacity(
+        TARGET_ANS_ADDR, cfg.channel_capacity, max(1.0, cfg.channel_capacity * 0.1)
+    )
+
+    benign = EngineClient(
+        BENIGN_ADDR, RESOLVER_ADDR, _benign_name,
+        rate=cfg.benign_rate, total=max(1, int(cfg.benign_rate * cfg.duration)),
+        config=_client_engine_config(cfg),
+    )
+    attack = EngineClient(
+        ATTACK_ADDR, RESOLVER_ADDR, _attack_name,
+        rate=cfg.attack_rate, total=max(1, int(cfg.attack_rate * cfg.duration)),
+        config=_client_engine_config(cfg),
+    )
+
+    for node in (root, target, resolver, benign, attack):
+        backend.attach(node)
+    await backend.start()
+
+    spec = ChaosSpec(
+        drop=cfg.loss,
+        duplicate=cfg.duplicate,
+        delay_prob=cfg.delay_prob,
+        delay_min=cfg.delay_min,
+        delay_max=cfg.delay_max,
+    )
+    # always interpose (a zero-probability spec is a pure relay) so the
+    # lossless and chaos runs traverse identical topologies
+    proxy = ChaosProxy(
+        backend.fabric, backend.clock, RESOLVER_ADDR, TARGET_ANS_ADDR, spec, cfg.seed
+    )
+    await proxy.start()
+
+    loop = asyncio.get_running_loop()
+    loop.set_exception_handler(
+        lambda _loop, ctx: report.loop_errors.append(
+            str(ctx.get("exception") or ctx.get("message"))
+        )
+    )
+
+    benign.start()
+    attack.start()
+
+    clock = backend.clock
+    hard_stop = cfg.duration + cfg.client_deadline + _DRAIN_GRACE
+    while clock.now < hard_stop:
+        await asyncio.sleep(0.05)
+        if benign.finished and attack.finished:
+            break
+
+    # liveness: every issued query must have reached a verdict by now
+    for client in (benign, attack):
+        if client.engine is not None:
+            report.liveness.extend(
+                f"{client.address}: {item}"
+                for item in client.engine.liveness_violations(grace=_DRAIN_GRACE)
+            )
+        if not client.finished:
+            report.liveness.append(
+                f"{client.address}: {client.sent} sent but only "
+                f"{sum(client.verdicts.values())} verdicts at harvest"
+            )
+
+    report.counts = {
+        "benign_sent": benign.sent,
+        "benign_answered": benign.verdicts.get("answered", 0),
+        "benign_noerror": benign.rcodes.get("NOERROR", 0),
+        "benign_servfail": benign.rcodes.get("SERVFAIL", 0),
+        "benign_timeout": benign.verdicts.get("timeout", 0),
+        "benign_shed": benign.verdicts.get("shed", 0),
+        "attack_sent": attack.sent,
+    }
+    fabric_stats = backend.fabric.stats
+    report.tcp_errors = list(backend.fabric.tcp_errors)
+    report.info = {
+        "virtual_elapsed": round(clock.now, 3),
+        "attack_answered": attack.verdicts.get("answered", 0),
+        "attack_timeout": attack.verdicts.get("timeout", 0),
+        "datagrams_sent": fabric_stats.messages_sent,
+        "datagrams_delivered": fabric_stats.messages_delivered,
+        "decode_errors": fabric_stats.decode_errors,
+        "tcp_queries": fabric_stats.tcp_queries,
+        "chaos_received": proxy.stats.received,
+        "chaos_dropped": proxy.stats.dropped,
+        "chaos_duplicated": proxy.stats.duplicated,
+        "chaos_delayed": proxy.stats.delayed,
+        "resolver_queries_sent": resolver.stats.queries_sent,
+        "resolver_retries": resolver.stats.query_retries,
+        "resolver_karn_rejections": resolver.stats.karn_rejections,
+        "dcc_intercepted": shim.stats.queries_intercepted,
+        "dcc_policed": shim.stats.queries_policed,
+        "auth_queries": target.stats.queries_received,
+        "auth_nxdomain": target.stats.nxdomain_sent,
+    }
+
+    proxy.close()
+    await backend.aclose()
+    return report
+
+
+def run_live(cfg: LiveConfig) -> LiveReport:
+    return asyncio.run(_run_async(cfg))
+
+
+def render_report(report: LiveReport) -> str:
+    from repro.analysis.provenance import provenance_header
+
+    cfg = report.config
+    lines = [
+        provenance_header(
+            "live_smoke",
+            seed=cfg.seed,
+            config=cfg,
+            extra={"backend": "udp", "loss": cfg.loss},
+        ),
+        "=== live smoke: benign + NX flood over real UDP sockets ===",
+        "",
+        report.deterministic_line(),
+        "",
+        f"benign goodput: {report.goodput:.3f} "
+        f"({report.counts.get('benign_noerror', 0)}/{report.counts.get('benign_sent', 0)} NOERROR)",
+        "",
+        "run details (informational, timing-sensitive):",
+    ]
+    lines.extend(f"  {key} = {report.info[key]}" for key in sorted(report.info))
+    problems = report.failures()
+    lines.append("")
+    if problems:
+        lines.append("FAILURES:")
+        lines.extend(f"  - {item}" for item in problems)
+    else:
+        lines.append("liveness: ok (no silent hangs, no loop errors)")
+    return "\n".join(lines)
+
+
+def _extract_counts_line(text: str) -> Optional[str]:
+    for line in text.splitlines():
+        if line.startswith("deterministic-counts:"):
+            return line.strip()
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro live", description="benign+NX-flood smoke over real UDP sockets"
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="send-phase length in seconds (query counts scale with it)")
+    parser.add_argument("--loss", type=float, default=0.0,
+                        help="chaos-proxy drop probability on the resolver<->auth channel")
+    parser.add_argument("--duplicate", type=float, default=0.0)
+    parser.add_argument("--delay-prob", type=float, default=0.0)
+    parser.add_argument("--min-goodput", type=float, default=None,
+                        help="fail unless benign NOERROR/sent >= this fraction")
+    parser.add_argument("--out", default=os.path.join("results", "live_smoke.txt"))
+    parser.add_argument("--check-against", default=None, metavar="FILE",
+                        help="fail unless FILE's deterministic-counts line matches this run")
+    args = parser.parse_args(argv)
+
+    cfg = LiveConfig(
+        seed=args.seed,
+        duration=args.duration,
+        loss=args.loss,
+        duplicate=args.duplicate,
+        delay_prob=args.delay_prob,
+        min_goodput=args.min_goodput,
+    )
+    report = run_live(cfg)
+    rendered = render_report(report)
+    print(rendered)
+
+    status = 0
+    if report.failures():
+        status = 1
+    if args.check_against:
+        with open(args.check_against, "r", encoding="utf-8") as fh:
+            expected = _extract_counts_line(fh.read())
+        actual = report.deterministic_line()
+        if expected != actual:
+            print("\ndeterminism check FAILED against "
+                  f"{args.check_against}:\n  expected: {expected}\n  actual:   {actual}")
+            status = 1
+        else:
+            print(f"\ndeterminism check ok against {args.check_against}")
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        print(f"[written to {args.out}]")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,12 @@ reproducible from its seed.
 :mod:`repro.netsim.faults` adds scheduled fault injection on top:
 time-varying link degradation, partitions between address groups, and
 node crash/recover cycles honoring each node's lifecycle hooks.
+
+``Simulator`` and ``Network`` are also the reference implementations of
+the backend-neutral ``Clock`` and ``Fabric`` protocols in
+:mod:`repro.transport.base` (they satisfy them structurally, with no
+import edge from here to there); :mod:`repro.transport.udp` is the
+real-socket twin that runs the same nodes over localhost datagrams.
 """
 
 from repro.netsim.sim import Simulator, Event

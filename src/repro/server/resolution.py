@@ -73,6 +73,7 @@ class _PendingQuery:
         "timer",
         "sent_at",
         "retransmitted",
+        "via_tcp",
         "span",
     )
 
@@ -88,6 +89,10 @@ class _PendingQuery:
         #: eventual RTT sample is ambiguous and must not feed the
         #: adaptive estimator
         self.retransmitted = False
+        #: transport mode of this exchange; retransmits must reuse it (a
+        #: TCP-fallback retry that silently downgraded to UDP would just
+        #: get truncated again)
+        self.via_tcp = False
         #: obs span covering this exchange (0 when observability is off)
         self.span = 0
 
@@ -294,6 +299,20 @@ class ResolutionTask:
     # upstream I/O
     # ------------------------------------------------------------------
     def _send_query(self, qname: Name, qtype: RRType, server: str, via_tcp: bool = False) -> None:
+        if self._pending is not None:
+            # Failing over while an exchange is still armed (e.g. a TC
+            # fallback issued from a response handler) must first tear
+            # down the old exchange completely, or its timeout timer
+            # stays scheduled and fires against the *new* pending state.
+            if self._pending.timer is not None:
+                self._pending.timer.cancel()
+            self.resolver.unregister_query(self._pending.message_id)
+            self.resolver.release_server_slot(self._pending.server)
+            if self._pending.span:
+                self.resolver.obs.end(
+                    self._pending.span, self.resolver.now, outcome="superseded"
+                )
+            self._pending = None
         if self.root.queries_sent >= self.root.queries_budget:
             self._fail()
             return
@@ -331,6 +350,7 @@ class ResolutionTask:
             query.id,
             retries_left=self.resolver.config.max_retries,
         )
+        pending.via_tcp = via_tcp
         pending.sent_at = self.resolver.now
         obs = self.resolver.obs
         if obs.enabled:
@@ -367,6 +387,7 @@ class ResolutionTask:
             self.root.queries_sent += 1
             self.resolver.stats.query_retries += 1
             query = Message.query(pending.qname, pending.qtype, recursion_desired=False)
+            query.via_tcp = pending.via_tcp
             query.edns_options.append(self.attribution.encode())
             pending.retries_left -= 1
             pending.message_id = query.id

@@ -1,0 +1,228 @@
+"""The asyncio UDP backend over real localhost sockets.
+
+These tests bind actual datagram/stream sockets on 127.0.0.1 and push
+wire-format DNS through them; each one runs inside ``asyncio.run`` so
+no event-loop plugin is needed.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.dnscore.message import Message
+from repro.dnscore.name import Name
+from repro.dnscore.rdata import RRType
+from repro.netsim.sim import Simulator
+from repro.server.authoritative import AuthoritativeServer
+from repro.transport.base import Clock, Fabric
+from repro.transport.engine import EngineClient, EngineConfig
+from repro.transport.udp import AsyncioClock, UdpBackend
+from repro.workloads.zonegen import build_target_zone
+
+from tests.conftest import Collector
+from tests.test_truncation import add_fat_rrset
+
+AUTH = "10.0.0.2"
+CLIENT = "10.1.0.1"
+
+
+async def _wait_until(predicate, timeout: float = 5.0) -> None:
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() > deadline:
+            raise AssertionError("condition not met before timeout")
+        await asyncio.sleep(0.01)
+
+
+def _backend(seed: int = 1, payload_limit=None):
+    backend = UdpBackend(seed=seed)
+    zone = build_target_zone("target-domain.", "ns1", AUTH)
+    auth = AuthoritativeServer(AUTH, zones=[zone], udp_payload_limit=payload_limit)
+    client = Collector(CLIENT)
+    backend.attach(auth)
+    backend.attach(client)
+    return backend, auth, client
+
+
+class TestAsyncioClock:
+    def test_rng_streams_match_simulator(self):
+        sim = Simulator(seed=11)
+        clock = AsyncioClock(seed=11)
+        for stream in ("a", "chaos", "client.x.gaps"):
+            want = [sim.rng(stream).random() for _ in range(5)]
+            got = [clock.rng(stream).random() for _ in range(5)]
+            assert got == want
+
+    def test_protocol_conformance(self):
+        assert isinstance(AsyncioClock(seed=1), Clock)
+
+    def test_schedule_before_start_raises(self):
+        clock = AsyncioClock(seed=1)
+        with pytest.raises(RuntimeError):
+            clock.schedule(0.0, list)
+
+    def test_negative_delay_raises(self):
+        async def run():
+            clock = AsyncioClock(seed=1)
+            clock.start()
+            with pytest.raises(ValueError):
+                clock.schedule(-0.1, list)
+
+        asyncio.run(run())
+
+    def test_schedule_at_clamps_past_targets(self):
+        # unlike the virtual simulator, a real clock treats a target in
+        # the past as "fire now" (documented Clock-protocol divergence)
+        async def run():
+            clock = AsyncioClock(seed=1)
+            clock.start()
+            fired = []
+            clock.schedule_at(clock.now - 10.0, fired.append, "x")
+            await _wait_until(lambda: fired == ["x"], timeout=2.0)
+
+        asyncio.run(run())
+
+    def test_cancelled_timer_never_fires(self):
+        async def run():
+            clock = AsyncioClock(seed=1)
+            clock.start()
+            fired = []
+            timer = clock.schedule(0.02, fired.append, "x")
+            timer.cancel()
+            assert clock.pending() == 0
+            await asyncio.sleep(0.05)
+            assert fired == []
+
+        asyncio.run(run())
+
+
+class TestUdpFabric:
+    def test_udp_query_round_trip(self):
+        backend, auth, client = _backend()
+
+        async def run():
+            await backend.start()
+            try:
+                query = client.query(AUTH, "a.wc.target-domain.")
+                await _wait_until(lambda: client.response_to(query) is not None)
+                response = client.response_to(query)
+                assert response.answers
+                assert auth.stats.queries_received == 1
+                assert backend.fabric.stats.messages_delivered >= 2
+                assert backend.fabric.stats.decode_errors == 0
+            finally:
+                await backend.aclose()
+
+        asyncio.run(run())
+
+    def test_wide_internal_id_survives_16bit_wire(self):
+        # internal message ids are 31-bit; the wire carries 16.  The
+        # fabric must restore the internal id on the response or the
+        # sender's bookkeeping can never match it.
+        backend, auth, client = _backend()
+
+        async def run():
+            await backend.start()
+            try:
+                query = Message.query(
+                    Name.from_text("a.wc.target-domain."), RRType.A, msg_id=0x1234_5678
+                )
+                client.send(AUTH, query)
+                await _wait_until(lambda: client.response_to(query) is not None)
+                assert client.response_to(query).id == 0x1234_5678
+            finally:
+                await backend.aclose()
+
+        asyncio.run(run())
+
+    def test_attach_after_start_rejected(self):
+        backend, auth, client = _backend()
+
+        async def run():
+            await backend.start()
+            try:
+                with pytest.raises(RuntimeError):
+                    backend.attach(Collector("10.1.0.2"))
+            finally:
+                await backend.aclose()
+
+        asyncio.run(run())
+
+    def test_fabric_satisfies_protocol(self):
+        backend, auth, client = _backend()
+        assert isinstance(backend.fabric, Fabric)
+        assert backend.fabric.node(AUTH) is auth
+
+    def test_pacing_sheds_oldest_under_backpressure(self):
+        backend, auth, client = _backend()
+        backend.fabric.configure_pacing(CLIENT, rate=5.0, burst=1.0, queue_limit=2)
+
+        async def run():
+            await backend.start()
+            try:
+                for i in range(6):
+                    client.query(AUTH, f"p{i}.wc.target-domain.")
+                await _wait_until(lambda: backend.fabric.stats.shed_backpressure >= 1)
+                assert backend.fabric.stats.paced >= 1
+            finally:
+                await backend.aclose()
+
+        asyncio.run(run())
+
+
+class TestTcpFallback:
+    def test_via_tcp_query_gets_full_answer(self):
+        backend, auth, client = _backend(payload_limit=512)
+        add_fat_rrset(auth.zone_for(Name.from_text("target-domain.")))
+
+        async def run():
+            await backend.start()
+            try:
+                udp_query = client.query(AUTH, "fat.target-domain.")
+                await _wait_until(lambda: client.response_to(udp_query) is not None)
+                assert client.response_to(udp_query).is_truncated
+
+                tcp_query = Message.query(Name.from_text("fat.target-domain."), RRType.A)
+                tcp_query.via_tcp = True
+                client.send(AUTH, tcp_query)
+                await _wait_until(lambda: client.response_to(tcp_query) is not None)
+                response = client.response_to(tcp_query)
+                assert response.via_tcp
+                assert not response.is_truncated
+                assert len(response.answers[0]) == 60
+                assert backend.fabric.stats.tcp_queries == 1
+                assert backend.fabric.stats.tcp_responses >= 1
+                assert backend.fabric.tcp_errors == []
+            finally:
+                await backend.aclose()
+
+        asyncio.run(run())
+
+    def test_engine_tc_fallback_end_to_end_over_sockets(self):
+        # truncated UDP answer -> engine retries over TCP -> full answer;
+        # the exact machinery the live smoke relies on, in one test
+        backend, auth, _ = _backend(payload_limit=512)
+        add_fat_rrset(auth.zone_for(Name.from_text("target-domain.")))
+        engine_client = EngineClient(
+            "10.1.0.9",
+            resolver=AUTH,
+            make_name=lambda i: Name.from_text("fat.target-domain."),
+            rate=100.0,
+            total=1,
+            config=EngineConfig(deadline=5.0),
+        )
+        backend.attach(engine_client)
+
+        async def run():
+            await backend.start()
+            engine_client.start()
+            try:
+                await _wait_until(lambda: engine_client.finished)
+                assert engine_client.verdicts == {"answered": 1}
+                assert engine_client.engine.stats.tc_fallbacks == 1
+                assert engine_client.engine.liveness_violations() == []
+            finally:
+                await backend.aclose()
+
+        asyncio.run(run())

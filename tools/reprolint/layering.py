@@ -21,8 +21,8 @@ from tools.reprolint.rules import Finding
 #: every layer name; TOP layers may import anything
 _ALL = frozenset(
     {"util", "sanitize", "_version", "dnscore", "obs", "netsim", "server",
-     "dcc", "workloads", "measure", "analysis", "fuzz", "experiments",
-     "cli", "__main__", "<root>"}
+     "dcc", "transport", "workloads", "measure", "analysis", "fuzz",
+     "experiments", "cli", "__main__", "<root>"}
 )
 
 #: the intended DAG: layer -> layers it may import (itself always allowed)
@@ -35,6 +35,12 @@ DEFAULT_CONTRACT: Dict[str, FrozenSet[str]] = {
     "netsim": frozenset({"util", "dnscore", "obs", "sanitize", "_version"}),
     "server": frozenset({"netsim", "dnscore", "util", "obs", "sanitize", "_version"}),
     "dcc": frozenset({"netsim", "dnscore", "util", "obs", "sanitize", "_version"}),
+    # transport sits *above* server (its query engine reuses the RFC 6298
+    # machinery in server.health) but below workloads/experiments; server
+    # and dcc must never import it -- that is what keeps both backends
+    # driving the identical scheduler/policing/health modules.
+    "transport": frozenset({"server", "netsim", "dnscore", "util", "obs",
+                            "sanitize", "_version"}),
     "workloads": frozenset({"dcc", "server", "netsim", "dnscore", "util", "obs",
                             "sanitize", "_version"}),
     "measure": frozenset({"workloads", "server", "netsim", "dnscore", "util",

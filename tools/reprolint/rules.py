@@ -41,6 +41,15 @@ SIM_PURE_FRAGMENTS: Tuple[str, ...] = (
     "repro/util",
     "repro/obs",
     "repro/fuzz",
+    "repro/transport",
+)
+
+#: files excused from the *wall-clock* half of R1 only.  The asyncio UDP
+#: backend is the one place the repo legitimately touches the wall clock
+#: (loop.time()/time.time() anchor its epoch); its RNG discipline is NOT
+#: exempt -- randomness must still come from seeded injected streams.
+WALLCLOCK_EXEMPT_FRAGMENTS: Tuple[str, ...] = (
+    "repro/transport/udp.py",
 )
 
 #: paths allowed to print (drivers and entry points)
@@ -116,6 +125,11 @@ def is_order_sensitive(posix_path: str) -> bool:
     )
 
 
+def is_wallclock_exempt(posix_path: str) -> bool:
+    """True when the R1 wall-clock checks (not the RNG ones) are waived."""
+    return any(fragment in posix_path for fragment in WALLCLOCK_EXEMPT_FRAGMENTS)
+
+
 # back-compat aliases (pre-R6 API)
 _is_sim_pure = is_sim_pure
 
@@ -153,6 +167,7 @@ class _FileChecker(ast.NodeVisitor):
         self.path = posix_path
         self.lines = source_lines
         self.sim_pure = is_sim_pure(posix_path)
+        self.wallclock_exempt = is_wallclock_exempt(posix_path)
         self.order_sensitive = is_order_sensitive(posix_path)
         self.print_allowed = _is_print_allowed(posix_path)
         self.findings: List[Finding] = []
@@ -178,7 +193,8 @@ class _FileChecker(ast.NodeVisitor):
             for alias in node.names:
                 bound = alias.asname or alias.name
                 if node.module == "time" and alias.name in WALLCLOCK_TIME_ATTRS:
-                    self._tainted_imports[bound] = f"time.{alias.name}"
+                    if not self.wallclock_exempt:
+                        self._tainted_imports[bound] = f"time.{alias.name}"
                 elif node.module == "datetime" and alias.name in ("datetime", "date"):
                     pass  # class import; only .now()/.today() calls are flagged
                 elif node.module == "random" and alias.name != "Random":
@@ -260,7 +276,9 @@ class _FileChecker(ast.NodeVisitor):
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
             module = func.value.id
             if module == "time" and func.attr in WALLCLOCK_TIME_ATTRS:
-                self._add(node, "R1", f"wall-clock read time.{func.attr}(); use Sim.now")
+                if not self.wallclock_exempt:
+                    self._add(node, "R1",
+                              f"wall-clock read time.{func.attr}(); use Sim.now")
                 return
             if module == "random":
                 if func.attr == "Random":
@@ -280,7 +298,9 @@ class _FileChecker(ast.NodeVisitor):
         if isinstance(func, ast.Attribute) and func.attr in WALLCLOCK_DATETIME_ATTRS:
             root = _base_name(func.value)
             if root in ("datetime", "date"):
-                self._add(node, "R1", f"wall-clock read {root}.{func.attr}(); use Sim.now")
+                if not self.wallclock_exempt:
+                    self._add(node, "R1",
+                              f"wall-clock read {root}.{func.attr}(); use Sim.now")
                 return
         if isinstance(func, ast.Name) and func.id in self._tainted_imports:
             origin = self._tainted_imports[func.id]
