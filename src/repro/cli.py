@@ -10,7 +10,9 @@ regenerated without writing Python:
     python -m repro fig10 --quick
     python -m repro fig11 --quick
     python -m repro table1
-    python -m repro chaos --scale 0.25   # fault injection, DCC on/off
+    python -m repro chaos --backend sim   # fault-schedule replay + recovery SLOs
+    python -m repro chaos --backend live --slo  # same schedule over real sockets
+    python -m repro chaos-matrix --scale 0.25   # sim-only DCC on/off comparison
     python -m repro resilience --scale 0.25  # vanilla vs hardened resolver
     python -m repro selfcheck            # determinism proof (SimSan on)
     python -m repro obs --scale 0.15     # observed run, exports traces
@@ -94,13 +96,15 @@ def _build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--top", type=int, default=10,
                      help="heavy-hitter table depth")
 
-    chaos = sub.add_parser(
-        "chaos", help="resilience under infrastructure faults (DCC on/off)"
+    chaos_matrix = sub.add_parser(
+        "chaos-matrix",
+        help="sim-only resilience comparison under infrastructure faults "
+        "(DCC on/off); `repro chaos` replays schedules on either backend",
     )
-    chaos.add_argument("--scale", type=float, default=0.25)
-    chaos.add_argument("--seed", type=int, default=42)
-    chaos.add_argument("--out", type=str, default=None,
-                       help="also write the report to this file")
+    chaos_matrix.add_argument("--scale", type=float, default=0.25)
+    chaos_matrix.add_argument("--seed", type=int, default=42)
+    chaos_matrix.add_argument("--out", type=str, default=None,
+                              help="also write the report to this file")
 
     resilience = sub.add_parser(
         "resilience",
@@ -269,6 +273,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments import bench
 
         return bench.main(tokens[1:])
+    if tokens and tokens[0] == "chaos":
+        # fault-schedule replay on either backend; owns its own argparse
+        # (same REMAINDER caveat as live/bench)
+        from repro.experiments import chaos_unified
+
+        return chaos_unified.main(tokens[1:])
     args = _build_parser().parse_args(tokens)
 
     if args.command == "fig2":
@@ -315,7 +325,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return obs_demo.main(
             scale=args.scale, seed=args.seed, out_dir=args.out_dir, top=args.top
         )
-    elif args.command == "chaos":
+    elif args.command == "chaos-matrix":
         from repro.experiments import chaos_resilience
 
         chaos_resilience.main(scale=args.scale, seed=args.seed, out=args.out)

@@ -121,23 +121,42 @@ def _draw_faults(
         return faults
     victim = graph_server_addr(rng.randrange(max(1, zones_count)))
     kind = rng.random()
-    start = rng.uniform(1.0, duration * 0.4)
+    # Every drawn fault keeps its nominal envelope inside
+    # [1, duration - 3): at least a second of clean baseline before and,
+    # after the settle allowance, a judgeable window after -- the
+    # recovery oracle needs both to apply.
+    start = rng.uniform(1.0, duration * 0.3)
+    budget = duration - 3.0 - start
     if kind < 0.4:
-        faults.append(
-            NodeOutage(
-                address=victim,
-                at=round(start, 3),
-                duration=round(rng.uniform(1.0, duration * 0.4), 3),
-                flaps=rng.choice((1, 1, 2)),
+        flaps = rng.choice((1, 1, 2))
+        if flaps == 2:
+            # the envelope ends at start + period + outage_duration, so
+            # an explicit period keeps the whole flap grid in budget
+            outage = round(rng.uniform(0.4, max(0.4, budget / 3.0)), 3)
+            faults.append(
+                NodeOutage(
+                    address=victim,
+                    at=round(start, 3),
+                    duration=outage,
+                    flaps=2,
+                    period=round(2.0 * outage, 3),
+                )
             )
-        )
+        else:
+            faults.append(
+                NodeOutage(
+                    address=victim,
+                    at=round(start, 3),
+                    duration=round(rng.uniform(0.5, max(0.5, budget)), 3),
+                )
+            )
     elif kind < 0.75:
         faults.append(
             LinkDegradation(
                 src=RESOLVER_ADDR,
                 dst=victim,
                 start=round(start, 3),
-                end=round(start + rng.uniform(1.0, duration * 0.5), 3),
+                end=round(start + rng.uniform(1.0, max(1.0, budget)), 3),
                 loss=round(rng.uniform(0.2, 0.9), 3),
                 latency=round(rng.uniform(0.0, 0.05), 3),
                 ramp=rng.choice((0.0, 0.5)),
@@ -149,7 +168,7 @@ def _draw_faults(
                 a=RESOLVER_ADDR,
                 b=victim,
                 start=round(start, 3),
-                end=round(start + rng.uniform(0.5, duration * 0.4), 3),
+                end=round(start + rng.uniform(0.5, max(0.5, budget)), 3),
             )
         )
     return faults

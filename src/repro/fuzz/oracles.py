@@ -16,6 +16,11 @@ set encodes the properties the paper's design arguments rest on:
 - **bounded collateral damage** -- DCC's headline claim: benign service
   survives any single-adversary strategy at bounded loss when channels
   are DCC-scheduled and the infrastructure is healthy (Section 5);
+- **recovery** -- after a fault schedule's envelope ends (plus a settle
+  allowance for hold-downs and breaker re-closes), benign goodput must
+  return to a fraction of its clean level: faults are transient by
+  construction, so a resolver that stays dark after the heal has wedged
+  state somewhere (the chaos tentpole's SLO, held fuzz-wide);
 - **serve-stale window** -- RFC 8767: no answer is served more than
   ``serve_stale_window`` seconds past expiry, and none at all when the
   window is zero;
@@ -32,7 +37,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.fuzz.runner import FuzzObservations
+from repro.netsim.faults import fault_span
+
+from repro.fuzz.runner import FAULT_SETTLE, FuzzObservations
 from repro.fuzz.scenario import FuzzScenario
 
 #: float slack on the stale-age comparison (virtual clocks are exact,
@@ -43,6 +50,9 @@ STALE_EPSILON = 1e-6
 REACHABILITY_FLOOR = 0.7
 #: collateral damage: minimum benign success under attack w/ DCC
 COLLATERAL_FLOOR = 0.5
+#: recovery: post-fault goodput must reach this fraction of clean-window
+#: goodput once the fault envelope has ended and settled
+RECOVERY_FRACTION = 0.6
 #: windows shorter than this can't support a stable ratio
 MIN_WINDOW = 1.0
 
@@ -201,6 +211,51 @@ class CollateralOracle(Oracle):
         return out
 
 
+class RecoveryOracle(Oracle):
+    """Faults are transient: after the schedule's envelope plus a settle
+    allowance, benign goodput must recover toward its clean level.
+
+    Adversarial scenarios are excluded (the attack usually outlives the
+    fault, and :class:`CollateralOracle` owns that regime); so are runs
+    whose recovery or clean window is too short to judge."""
+
+    name = "recovery"
+
+    def applies(self, scenario, obs):
+        return (
+            bool(scenario.faults)
+            and scenario.adversary.strategy == "none"
+            and obs.crash is None
+        )
+
+    def check(self, scenario, obs):
+        out: List[str] = []
+        span = fault_span(scenario.faults)
+        if span is None:
+            return out
+        recovery_from = span[1] + FAULT_SETTLE
+        outcomes = {c.name: c for c in obs.clients}
+        for spec in scenario.clients:
+            stop = min(spec.stop, scenario.duration)
+            if stop - recovery_from < MIN_WINDOW or spec.rate < 2.0:
+                continue
+            if min(span[0], stop) - spec.start < MIN_WINDOW:
+                continue  # no clean baseline before the fault
+            outcome = outcomes.get(spec.name)
+            if outcome is None or outcome.requests == 0:
+                continue
+            floor = RECOVERY_FRACTION * outcome.clean_ratio
+            if outcome.recovered_ratio < floor:
+                out.append(
+                    f"client {spec.name} on zone {spec.zone}: post-fault "
+                    f"success {outcome.recovered_ratio:.2f} < "
+                    f"{RECOVERY_FRACTION:g} x clean {outcome.clean_ratio:.2f} "
+                    f"(recovery window [{recovery_from:g},{stop:g}) after "
+                    f"fault span [{span[0]:g},{span[1]:g}))"
+                )
+        return out
+
+
 class StaleWindowOracle(Oracle):
     """RFC 8767: stale answers never exceed the configured window."""
 
@@ -255,6 +310,7 @@ ALL_ORACLES = (
     TerminationOracle(),
     ReachabilityOracle(),
     CollateralOracle(),
+    RecoveryOracle(),
     StaleWindowOracle(),
     BreakerLegalityOracle(),
 )

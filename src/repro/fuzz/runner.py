@@ -31,7 +31,7 @@ from repro.dcc.shim import DccConfig, DccShim
 from repro.dnscore.message import Question
 from repro.dnscore.name import Name
 from repro.dnscore.rdata import RRType
-from repro.netsim.faults import FaultInjector
+from repro.netsim.faults import FaultInjector, fault_span
 from repro.netsim.link import Network
 from repro.netsim.sim import Simulator
 from repro.sanitize import SimSanViolation
@@ -71,6 +71,10 @@ ADVERSARY_CLIENT_ADDR = "10.1.59.1"
 #: liveness drain: virtual seconds past the last client stop by which
 #: every pending request must have resolved one way or the other
 DRAIN_WINDOW = 30.0
+
+#: virtual seconds after the fault envelope ends before the recovery
+#: window opens (hold-downs expire, breakers re-close, retries settle)
+FAULT_SETTLE = 2.0
 
 #: ceiling on events per expected client request (the termination
 #: oracle's runaway-loop detector; FF amplification plus retries stay
@@ -133,6 +137,9 @@ class ClientOutcome:
     clean_ratio: float = 0.0
     #: success ratio while the adversary is active (0 when none)
     attacked_ratio: float = 0.0
+    #: success ratio after the fault envelope ends + settle (0 when the
+    #: scenario has no faults or the window is empty)
+    recovered_ratio: float = 0.0
     pending_after_drain: int = 0
 
 
@@ -440,12 +447,18 @@ def _collect(scenario: FuzzScenario, h: _Harness, obs: FuzzObservations) -> None
 
     adversary = scenario.adversary
     attacked = adversary.strategy != "none"
+    span = fault_span(scenario.faults)
     for spec in scenario.clients:
         client = h.clients.get(spec.name)
         if client is None:
             continue
         stop = min(spec.stop, scenario.duration)
         clean_until = min(adversary.start, stop) if attacked else stop
+        recovered = 0.0
+        if span is not None:
+            recovery_from = span[1] + FAULT_SETTLE
+            if recovery_from < stop:
+                recovered = client.success_ratio(recovery_from, stop)
         outcome = ClientOutcome(
             name=spec.name,
             zone=spec.zone,
@@ -457,6 +470,7 @@ def _collect(scenario: FuzzScenario, h: _Harness, obs: FuzzObservations) -> None
             attacked_ratio=(
                 client.success_ratio(adversary.start, stop) if attacked else 0.0
             ),
+            recovered_ratio=recovered,
             pending_after_drain=len(client._pending),
         )
         obs.clients.append(outcome)

@@ -25,6 +25,7 @@ draws happen, which is itself seed-stable.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
@@ -214,6 +215,70 @@ def schedule_from_dicts(records: Iterable[Dict[str, object]]) -> List[FaultSpec]
     return [fault_from_dict(record) for record in records]
 
 
+def outage_period(spec: NodeOutage) -> float:
+    """The crash-to-crash period of a flapping outage (default 2x duration)."""
+    return spec.period if spec.period is not None else 2.0 * spec.duration
+
+
+def expand_outage(
+    spec: NodeOutage, rng: random.Random, now: float = 0.0
+) -> List[Tuple[float, float]]:
+    """Concrete ``(crash_at, recover_at)`` pairs for one outage spec.
+
+    This is the single flap-expansion used by both backends: the virtual
+    :class:`FaultInjector` and the live orchestrator call it with the
+    same ``"faults.outage"`` RNG stream, so a schedule produces the same
+    flap instants over real sockets as it does in virtual time.
+
+    Pairs whose recovery slice is empty after clamping to ``now`` are
+    *skipped* rather than scheduled: a crash and a recover at the same
+    instant is not an outage, and enqueueing both at one timestamp makes
+    the node's final up/down state depend on event-queue tie-breaking
+    (the flapping edge case SimSan ordering tests pin).  Jitter draws
+    still happen for skipped pairs, so the RNG stream's sequence -- and
+    every later flap's timing -- is independent of the clamp.
+    """
+    period = outage_period(spec)
+    pairs: List[Tuple[float, float]] = []
+    for flap in range(spec.flaps):
+        down_at = spec.at + flap * period
+        up_at = down_at + spec.duration
+        if spec.jitter > 0:
+            down_at += rng.uniform(-spec.jitter, spec.jitter)
+            up_at = max(down_at + 1e-9, up_at + rng.uniform(-spec.jitter, spec.jitter))
+        down_at = max(down_at, now)
+        up_at = max(up_at, now)
+        if up_at <= down_at:
+            continue
+        pairs.append((down_at, up_at))
+    return pairs
+
+
+def fault_span(faults: Iterable[FaultSpec]) -> Optional[Tuple[float, float]]:
+    """The ``[start, end)`` window covering every fault in a schedule.
+
+    Returns ``None`` for an empty schedule.  Outage end is computed from
+    the nominal flap grid (``at + (flaps - 1) * period + duration``);
+    jitter is deliberately excluded so window segmentation -- which the
+    recovery-SLO auditor and the fuzz recovery oracle both build on --
+    is a pure function of the serialized schedule, not of RNG draws.
+    """
+    start: Optional[float] = None
+    end: Optional[float] = None
+    for spec in faults:
+        if isinstance(spec, NodeOutage):
+            s = spec.at
+            e = spec.at + (spec.flaps - 1) * outage_period(spec) + spec.duration
+        else:
+            s = spec.start
+            e = spec.end
+        start = s if start is None else min(start, s)
+        end = e if end is None else max(end, e)
+    if start is None or end is None:
+        return None
+    return (start, end)
+
+
 @dataclass
 class FaultStats:
     crashes: int = 0
@@ -273,16 +338,10 @@ class FaultInjector:
 
     def add_node_outage(self, spec: NodeOutage) -> NodeOutage:
         self._outages.append(spec)
-        period = spec.period if spec.period is not None else 2.0 * spec.duration
         rng = self.sim.rng("faults.outage")
-        for flap in range(spec.flaps):
-            down_at = spec.at + flap * period
-            up_at = down_at + spec.duration
-            if spec.jitter > 0:
-                down_at += rng.uniform(-spec.jitter, spec.jitter)
-                up_at = max(down_at + 1e-9, up_at + rng.uniform(-spec.jitter, spec.jitter))
-            self.sim.schedule_at(max(down_at, self.sim.now), self._crash, spec.address)
-            self.sim.schedule_at(max(up_at, self.sim.now), self._recover, spec.address)
+        for down_at, up_at in expand_outage(spec, rng, now=self.sim.now):
+            self.sim.schedule_at(down_at, self._crash, spec.address)
+            self.sim.schedule_at(up_at, self._recover, spec.address)
         return spec
 
     # ------------------------------------------------------------------

@@ -85,6 +85,20 @@ def _dumps(obj: Dict[str, Any]) -> str:
     return json.dumps(obj, separators=(",", ":"), sort_keys=False)
 
 
+def canonical_json(doc: Any) -> str:
+    """Byte-stable JSON for determinism gates: sorted keys, no
+    whitespace drift, newline-terminated.
+
+    Two runs that produce equal data structures produce *identical
+    files* through this function -- the property the chaos CLI's
+    ``--check-against`` comparison (and any future digest gate) relies
+    on.  Inputs must be plain JSON data (dict/list/str/num/bool/None);
+    non-finite floats are rejected rather than serialized as the
+    non-standard ``NaN``/``Infinity`` tokens.
+    """
+    return json.dumps(doc, separators=(",", ":"), sort_keys=True, allow_nan=False) + "\n"
+
+
 # ----------------------------------------------------------------------
 # spans -> Chrome trace-event JSON
 # ----------------------------------------------------------------------

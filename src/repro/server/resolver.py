@@ -57,6 +57,11 @@ class ResolverConfig:
     max_fanout_rounds: int = 1
     #: hard per-request query budget (BIND max-fetches analogue)
     max_queries_per_request: int = 400
+    #: hard wall on one request's total resolution time in seconds (the
+    #: BIND ``resolve-timeout`` analogue); 0 disables.  Without it, RTO
+    #: backoff compounding across a dead-server chase can keep a single
+    #: request's task tree alive long after every client gave up.
+    max_resolution_time: float = 10.0
     #: outstanding (unanswered) queries allowed per upstream server, the
     #: BIND fetches-per-server analogue.  Under adversarial congestion,
     #: dropped queries hold their slots until timeout, exhausting the
@@ -387,6 +392,8 @@ class RecursiveResolver(Node):
             return  # duplicate in-flight request from the same client
 
         deadline: Optional[float] = None
+        if self.config.max_resolution_time > 0:
+            deadline = self.now + self.config.max_resolution_time
         if self.overload is not None:
             pending_count = len(self._pending_requests)
             saturated = self.overload.pressure(pending_count)
@@ -427,7 +434,13 @@ class RecursiveResolver(Node):
                     self.stats.servfail_responses += 1
                     self._respond(client, request.make_response(RCode.SERVFAIL))
                 return
-            deadline = self.overload.deadline_for(self.now)
+            overload_deadline = self.overload.deadline_for(self.now)
+            if overload_deadline is not None:
+                deadline = (
+                    overload_deadline
+                    if deadline is None
+                    else min(deadline, overload_deadline)
+                )
 
         pending = _PendingRequest(client=client, request=request, arrived_at=self.now)
         pending.span = request_span

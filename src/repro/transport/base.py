@@ -199,6 +199,25 @@ class InflightTable(Generic[E]):
         self.stats.liveness_violations = len(stuck)
         return stuck
 
+    def pop_overdue(self, now: float, grace: float = 0.0) -> List[InflightEntry[E]]:
+        """Remove and return overdue entries (the periodic audit's reclaim).
+
+        Unlike :meth:`overdue` -- a read-only oracle that *reports*
+        stuck entries at harvest -- this is the repair path: the caller
+        verdicts each returned entry (the query engine reports them as
+        timeouts), so a peer crash that orphans table entries cannot
+        leave them lingering until capacity shedding.  Does not touch
+        ``liveness_violations``: reclaimed entries were not silent hangs.
+        """
+        keys = [k for k, e in self._entries.items() if now > e.deadline + grace]
+        reclaimed: List[InflightEntry[E]] = []
+        for key in keys:
+            entry = self._entries.pop(key)
+            entry.resolved = True
+            self.stats.completed += 1
+            reclaimed.append(entry)
+        return reclaimed
+
     def entries(self) -> List[InflightEntry[E]]:
         return list(self._entries.values())
 

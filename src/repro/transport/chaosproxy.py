@@ -75,16 +75,36 @@ class ChaosStats:
     duplicated: int = 0
     delayed: int = 0
     undecodable: int = 0
+    #: forwards abandoned because the destination node was crashed
+    unroutable: int = 0
     per_direction: Dict[str, int] = field(default_factory=dict)
 
 
 class FaultSchedule:
-    """Order-independent seeded fault decisions (see module docstring)."""
+    """Order-independent seeded fault decisions (see module docstring).
+
+    The spec may be swapped mid-run (:meth:`set_spec`) -- that is how
+    the chaos orchestrator drives degradation ramps and partitions:
+    occurrence counters persist across swaps, so a datagram's hash
+    material never depends on *when* the spec changed, only the
+    probabilities it is tested against do.
+    """
 
     def __init__(self, seed: int, spec: ChaosSpec) -> None:
         self._seed = seed
-        self._spec = spec
+        self._default = spec
+        self._overrides: Dict[str, ChaosSpec] = {}
         self._occurrence: Dict[Tuple[str, str], int] = {}
+
+    def set_spec(self, spec: ChaosSpec, direction: Optional[str] = None) -> None:
+        """Swap fault probabilities; ``direction=None`` sets the default."""
+        if direction is None:
+            self._default = spec
+        else:
+            self._overrides[direction] = spec
+
+    def spec_for(self, direction: str) -> ChaosSpec:
+        return self._overrides.get(direction, self._default)
 
     def decide(self, direction: str, key: str) -> FaultDecision:
         """The fate of the next datagram with ``key`` in ``direction``."""
@@ -101,7 +121,7 @@ class FaultSchedule:
         u_dup = int.from_bytes(digest[8:16], "big") / 2**64
         u_delay = int.from_bytes(digest[16:24], "big") / 2**64
         u_amount = int.from_bytes(digest[24:32], "big") / 2**64
-        spec = self._spec
+        spec = self.spec_for(direction)
         delay = 0.0
         if u_delay < spec.delay_prob:
             delay = spec.delay_min + u_amount * (spec.delay_max - spec.delay_min)
@@ -155,9 +175,33 @@ class ChaosProxy:
         self._schedule = FaultSchedule(seed, spec)
         self.stats = ChaosStats()
         self._relay: Dict[str, asyncio.DatagramTransport] = {}
-        self._dest: Dict[str, SockAddr] = {}
-        self._fwd = f"{a}>{b}"
-        self._rev = f"{b}>{a}"
+        #: direction label -> the *fabric address* packets forward to;
+        #: resolved to a socket address lazily at forward time, so a
+        #: crashed node blackholes and a restarted one re-routes without
+        #: the proxy being told
+        self._dest_node: Dict[str, str] = {self._fwd_label(a, b): b,
+                                           self._fwd_label(b, a): a}
+        self._fwd = self._fwd_label(a, b)
+        self._rev = self._fwd_label(b, a)
+
+    @staticmethod
+    def _fwd_label(src: str, dst: str) -> str:
+        return f"{src}>{dst}"
+
+    @property
+    def channel(self) -> "Tuple[str, str]":
+        return (self._a, self._b)
+
+    def direction(self, src: str, dst: str) -> str:
+        """The direction label for ``src -> dst`` on this channel."""
+        label = self._fwd_label(src, dst)
+        if label not in self._dest_node:
+            raise KeyError(f"{src}->{dst} is not on channel {self._a}<->{self._b}")
+        return label
+
+    def set_spec(self, spec: ChaosSpec, direction: Optional[str] = None) -> None:
+        """Swap the fault spec mid-run; occurrence counters persist."""
+        self._schedule.set_spec(spec, direction)
 
     async def start(self) -> None:
         loop = asyncio.get_running_loop()
@@ -170,7 +214,6 @@ class ChaosProxy:
             )
             sockaddr = transport.get_extra_info("sockname")
             self._relay[direction] = transport
-            self._dest[direction] = self._fabric.udp_address(dst)
             self._fabric.set_route(src, dst, sockaddr)
             # the receiver sees the relay's sockaddr; keep attribution on
             # the true sender
@@ -211,5 +254,11 @@ class ChaosProxy:
         transport = self._relay.get(direction)
         if transport is None or transport.is_closing():
             return
-        transport.sendto(data, self._dest[direction])
+        dest = self._fabric.udp_address_if_bound(self._dest_node[direction])
+        if dest is None:
+            # the destination node is crashed (socket closed): the
+            # packet blackholes, exactly as it would on the real path
+            self.stats.unroutable += 1
+            return
+        transport.sendto(data, dest)
         self.stats.forwarded += 1

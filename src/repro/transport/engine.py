@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dnscore.message import Message
 from repro.dnscore.name import Name
@@ -60,6 +60,13 @@ class EngineConfig:
     pace_burst: Optional[float] = None
     #: retry once over TCP when a UDP response comes back truncated
     tcp_fallback: bool = True
+    #: periodic overdue-entry audit cadence; entries orphaned past their
+    #: deadline (e.g. by a peer crash racing a timer) are reclaimed and
+    #: verdicted as timeouts.  0 disables the audit.
+    audit_interval: float = 1.0
+    #: slack past the deadline before the audit reclaims an entry (the
+    #: per-query timer normally finishes first; the audit is a backstop)
+    audit_grace: float = 0.25
     health: HealthConfig = field(default_factory=_default_health)
 
 
@@ -73,6 +80,8 @@ class EngineStats:
     tc_fallbacks: int = 0
     paced: int = 0
     unmatched: int = 0
+    #: entries the periodic audit reclaimed past their deadline
+    reclaimed_overdue: int = 0
     rcodes: Dict[str, int] = field(default_factory=dict)
 
 
@@ -141,6 +150,7 @@ class QueryEngine:
         self._bucket: Optional[TokenBucket] = None
         if self.config.pace_rate is not None:
             self._bucket = TokenBucket(self.config.pace_rate, self.config.pace_burst)
+        self._audit_timer: Optional[TimerHandle] = None
 
     def _health_rng(self):  # noqa: ANN202 - Callable[[], random.Random]
         return self._clock.rng("engine.health")
@@ -171,8 +181,28 @@ class QueryEngine:
         shed = self._inflight.insert(message.id, q.deadline, now, q)
         for entry in shed:
             self._finish(entry.payload, Verdict.SHED)
+        self._arm_audit()
         self._send_attempt(q, message)
         return message.id
+
+    def _arm_audit(self) -> None:
+        if self.config.audit_interval <= 0 or self._audit_timer is not None:
+            return
+        self._audit_timer = self._clock.schedule(self.config.audit_interval, self._audit)
+
+    def _audit(self) -> None:
+        """Reclaim entries orphaned past their deadline (timer lost to a
+        crash or a backend bug): every query still gets a verdict.  The
+        timer re-arms only while work is outstanding, so an idle engine
+        holds no live timers and the event loop can drain."""
+        self._audit_timer = None
+        for entry in self._inflight.pop_overdue(
+            self._clock.now, self.config.audit_grace
+        ):
+            self.stats.reclaimed_overdue += 1
+            self._finish(entry.payload, Verdict.TIMEOUT)
+        if len(self._inflight):
+            self._arm_audit()
 
     def _send_attempt(self, q: _EngineQuery, message: Message) -> None:
         if q.done:
@@ -317,6 +347,15 @@ class EngineClient(Node):
     Sends exactly ``total`` queries at seeded inter-arrival gaps (count-
     based, so same-seed runs issue identical workloads on any backend),
     then idles; :attr:`finished` flips once every query has a verdict.
+
+    Queries fire at *absolute nominal times* -- the cumulative sum of
+    the seeded gap draws, scheduled via ``schedule_at`` against the
+    client's start epoch -- rather than gap-relative, so wall-clock
+    drift on a real backend cannot accumulate across a run.  Each
+    verdict is recorded in :attr:`samples` against its nominal send
+    time: a ``(nominal, verdict, rcode)`` triple that is a pure function
+    of the seed on any backend, which is what lets the recovery-SLO
+    auditor segment runs into windows byte-identically across reruns.
     """
 
     def __init__(
@@ -338,38 +377,53 @@ class EngineClient(Node):
         self._qtype = qtype
         self._sent = 0
         self._completed = 0
+        self._epoch = 0.0
+        self._cursor = 0.0
         self.engine: Optional[QueryEngine] = None
         self.verdicts: Dict[str, int] = {}
         self.rcodes: Dict[str, int] = {}
+        #: (nominal send time, verdict value, rcode) per completed query
+        self.samples: List[Tuple[float, str, str]] = []
 
     def start(self) -> None:
         assert self.sim is not None, f"{self.address} is not attached"
         self.engine = QueryEngine(self.sim, self._transmit, self._config)
-        self.sim.schedule(self._next_gap(), self._fire)
+        self._epoch = self.sim.now
+        self._cursor = 0.0
+        self._schedule_next()
 
     def _next_gap(self) -> float:
         jitter = self.sim.rng(f"client.{self.address}.gaps").uniform(0.6, 1.4)
         return self._gap * jitter
 
+    def _schedule_next(self) -> None:
+        self._cursor += self._next_gap()
+        self.sim.schedule_at(self._epoch + self._cursor, self._fire)
+
     def _fire(self) -> None:
         if not self.up or self._sent >= self._total:
             return
+        nominal = self._cursor
         qname = self._make_name(self._sent)
         self._sent += 1
         assert self.engine is not None
-        self.engine.lookup(qname, self._qtype, self._resolver, self._on_outcome)
+        self.engine.lookup(
+            qname, self._qtype, self._resolver,
+            lambda outcome: self._on_outcome(outcome, nominal),
+        )
         if self._sent < self._total:
-            self.sim.schedule(self._next_gap(), self._fire)
+            self._schedule_next()
 
     def _transmit(self, message: Message, server: str) -> None:
         self.send(server, message)
 
-    def _on_outcome(self, outcome: Outcome) -> None:
+    def _on_outcome(self, outcome: Outcome, nominal: float = 0.0) -> None:
         self._completed += 1
         key = outcome.verdict.value
         self.verdicts[key] = self.verdicts.get(key, 0) + 1
         if outcome.rcode:
             self.rcodes[outcome.rcode] = self.rcodes.get(outcome.rcode, 0) + 1
+        self.samples.append((nominal, key, outcome.rcode))
 
     def receive(self, message: Message, src: str) -> None:
         if message.is_response and self.engine is not None:

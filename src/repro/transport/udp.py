@@ -346,6 +346,16 @@ class UdpFabric:
     def udp_address(self, address: str) -> SockAddr:
         return self._udp_addr[address]
 
+    def udp_address_if_bound(self, address: str) -> Optional[SockAddr]:
+        """The node's current socket address, or None while crashed.
+
+        The chaos proxy resolves destinations through this at forward
+        time instead of caching socket addresses, so a crash blackholes
+        the channel and a restart (which re-binds to a fresh ephemeral
+        port) transparently re-routes it.
+        """
+        return self._udp_addr.get(address)
+
     def set_route(self, src: str, dst: str, via: SockAddr) -> None:
         """Divert src->dst datagrams to ``via`` (a proxy's socket)."""
         self._route[(src, dst)] = via
@@ -360,6 +370,80 @@ class UdpFabric:
         self._pacers[address] = _PacedSender(
             self._clock, self._transmit_datagram, address, rate, burst, queue_limit, self.stats
         )
+
+    # ------------------------------------------------------------------
+    # supervised node lifecycle (chaos orchestrator)
+    # ------------------------------------------------------------------
+    def crash_node(self, address: str) -> None:
+        """Crash = process death: close sockets, lose all wire state.
+
+        The node's UDP endpoint and TCP listener close, parked TCP reply
+        slots it owned are cancelled (the serving coroutine unwinds and
+        drops the connection), and its wire-id rewrite entries vanish --
+        any response still in flight toward it arrives at a dead socket.
+        ``node.crash()`` runs the usual ``on_crash`` state-loss hooks.
+        """
+        node = self._nodes.get(address)
+        if node is None:
+            raise KeyError(f"no node at {address}")
+        if not node.up:
+            return
+        node.crash()
+        transport = self._udp_transport.pop(address, None)
+        if transport is not None and not transport.is_closing():
+            transport.close()
+        old_addr = self._udp_addr.pop(address, None)
+        if old_addr is not None:
+            self._peer.pop(old_addr, None)
+        server = self._tcp_servers.pop(address, None)
+        if server is not None:
+            server.close()
+        self._tcp_addr.pop(address, None)
+        pacer = self._pacers.get(address)
+        if pacer is not None:
+            pacer.close()
+        for key in [k for k in self._tcp_reply if k[0] == address]:
+            slot = self._tcp_reply.pop(key)
+            if not slot.done():
+                slot.cancel()
+        for key in [k for k in self._wire_ids if k[0] == address]:
+            del self._wire_ids[key]
+        self.stats.extra["node_crashes"] = self.stats.extra.get("node_crashes", 0) + 1
+
+    def restart_node(self, address: str) -> None:
+        """Restart a crashed node: re-bind fresh sockets, then recover.
+
+        Safe to call from a clock callback; the re-bind itself is async
+        (socket creation awaits the loop), so ``node.up`` flips only
+        once the new endpoints exist.  The node restarts with whatever
+        state its ``on_recover`` hook rebuilds -- in-flight queries from
+        before the crash are gone, exactly like a process restart.
+        """
+        node = self._nodes.get(address)
+        if node is None:
+            raise KeyError(f"no node at {address}")
+        if node.up:
+            return
+        self._spawn(self._rebind_node(address))
+
+    async def _rebind_node(self, address: str) -> None:
+        loop = asyncio.get_running_loop()
+        transport, _protocol = await loop.create_datagram_endpoint(
+            partial(_UdpProtocol, self, address), local_addr=(self._host, 0)
+        )
+        sockaddr = transport.get_extra_info("sockname")
+        self._udp_transport[address] = transport
+        self._udp_addr[address] = sockaddr
+        self._peer[sockaddr] = address
+        server = await asyncio.start_server(
+            partial(self._tcp_serve, address), self._host, 0
+        )
+        self._tcp_servers[address] = server
+        self._tcp_addr[address] = server.sockets[0].getsockname()
+        node = self._nodes.get(address)
+        if node is not None and not node.up:
+            node.recover()
+        self.stats.extra["node_restarts"] = self.stats.extra.get("node_restarts", 0) + 1
 
     # ------------------------------------------------------------------
     # datagram path

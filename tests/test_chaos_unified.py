@@ -1,0 +1,121 @@
+"""The unified ``repro chaos`` driver on the virtual backend.
+
+The live backend is exercised by CI's ``chaos-live`` job (real sockets,
+real seconds); here the same driver runs in virtual time, which pins the
+backend-neutral parts: schedule loading, window accounting, canonical
+metrics determinism, SLO gating, and the CLI dispatch.
+"""
+
+import json
+
+from repro.experiments import chaos_unified
+from repro.experiments.chaos_unified import (
+    ChaosConfig,
+    default_schedule,
+    render_report,
+    run_chaos,
+)
+from repro.netsim.faults import schedule_to_dicts
+
+QUICK = dict(pool_rate=6.0, fresh_rate=6.0, attack_rate=10.0)
+
+
+def quick_config(**overrides):
+    return ChaosConfig(backend="sim", seed=7, **QUICK, **overrides)
+
+
+class TestSimChaosRun:
+    def test_default_schedule_meets_the_slo_gate(self):
+        report = run_chaos(quick_config(enforce_slo=True), default_schedule())
+        assert report.failures() == []
+        auditor = report.auditor
+        assert auditor.counts["pre"].goodput == 1.0
+        # the fault window splits: pool names serve stale (NOERROR),
+        # fresh names SERVFAIL -- both answered, nothing hangs
+        fault = auditor.counts["fault"]
+        assert fault.sent > 0
+        assert fault.noerror > 0 and fault.servfail > 0
+        assert fault.timeout == 0
+        retained = auditor.goodput_retained
+        assert retained is not None and retained >= 0.8
+        assert auditor.mttr() is not None
+        assert report.info["resolver_stale_served"] > 0
+        assert report.info["crashes"] == 1 and report.info["recoveries"] == 1
+
+    def test_same_seed_metrics_are_byte_identical(self):
+        first = run_chaos(quick_config(), default_schedule())
+        second = run_chaos(quick_config(), default_schedule())
+        assert first.canonical_metrics() == second.canonical_metrics()
+
+    def test_different_seeds_differ(self):
+        a = run_chaos(quick_config(), default_schedule())
+        b = run_chaos(ChaosConfig(backend="sim", seed=8, **QUICK), default_schedule())
+        assert a.canonical_metrics() != b.canonical_metrics()
+
+    def test_schedule_embedded_in_metrics_document(self):
+        report = run_chaos(quick_config(), default_schedule())
+        doc = json.loads(report.canonical_metrics())
+        assert doc["schedule"] == schedule_to_dicts(default_schedule())
+        assert doc["backend"] == "sim" and doc["seed"] == 7
+
+    def test_empty_schedule_fails_the_gate_not_the_run(self):
+        report = run_chaos(quick_config(duration=4.0, enforce_slo=True), [])
+        assert report.liveness == []
+        assert any("recovery" in f for f in report.failures())
+
+    def test_render_report_shows_windows_and_slos(self):
+        report = run_chaos(quick_config(enforce_slo=True), default_schedule())
+        rendered = render_report(report)
+        assert "recovery SLOs" in rendered
+        assert "goodput retained" in rendered
+        assert "SLO: pass" in rendered
+        assert '"kind": "outage"' in rendered
+
+    def test_unknown_backend_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_chaos(ChaosConfig(backend="quantum"), default_schedule())
+
+
+class TestScheduleLoading:
+    def test_example_schedule_is_the_default_plan(self):
+        loaded = chaos_unified._load_schedule("examples/chaos_schedule.json")
+        assert loaded == default_schedule()
+
+    def test_none_falls_back_to_default(self):
+        assert chaos_unified._load_schedule(None) == default_schedule()
+
+
+class TestCli:
+    def test_main_writes_and_checks_metrics(self, tmp_path, capsys):
+        metrics = tmp_path / "chaos_sim.json"
+        status = chaos_unified.main([
+            "--backend", "sim", "--seed", "3",
+            "--metrics-out", str(metrics), "--slo",
+        ])
+        assert status == 0
+        assert metrics.exists()
+        rerun = tmp_path / "chaos_sim_2.json"
+        status = chaos_unified.main([
+            "--backend", "sim", "--seed", "3",
+            "--metrics-out", str(rerun),
+            "--check-against", str(metrics),
+        ])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "determinism check ok" in out
+        assert rerun.read_bytes() == metrics.read_bytes()
+
+    def test_repro_cli_dispatches_chaos_token(self, tmp_path, capsys):
+        from repro import cli
+
+        metrics = tmp_path / "via_cli.json"
+        status = cli.main([
+            "chaos", "--backend", "sim", "--seed", "3",
+            "--metrics-out", str(metrics),
+        ])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert metrics.exists()
+        assert "chaos: fault schedule replay" in out

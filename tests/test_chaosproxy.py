@@ -104,6 +104,80 @@ class TestFaultSchedule:
             assert decision.duplicate_delay > decision.delay
 
 
+class TestFaultScheduleSwaps:
+    """Mid-run spec swaps: how the chaos orchestrator drives the proxy."""
+
+    def test_per_direction_override_and_default(self):
+        schedule = FaultSchedule(7, ChaosSpec())
+        schedule.set_spec(ChaosSpec(drop=1.0), "a>b")
+        assert schedule.spec_for("a>b").drop == 1.0
+        assert schedule.spec_for("b>a").drop == 0.0  # default untouched
+        schedule.set_spec(ChaosSpec(drop=0.5))       # new default
+        assert schedule.spec_for("b>a").drop == 0.5
+        assert schedule.spec_for("a>b").drop == 1.0  # override still wins
+
+    def test_extreme_probabilities_are_swap_stable(self):
+        # at drop 0.0 / 1.0 a fate cannot depend on the occurrence
+        # counter, so two runs whose swap happened at different packet
+        # counts still agree -- the live partition determinism argument
+        early = FaultSchedule(7, ChaosSpec())
+        late = FaultSchedule(7, ChaosSpec())
+        late.decide("a>b", "k")          # extra pre-swap traffic
+        late.decide("a>b", "k")
+        for schedule in (early, late):
+            schedule.set_spec(ChaosSpec(drop=1.0), "a>b")
+        assert early.decide("a>b", "k").drop is True
+        assert late.decide("a>b", "k").drop is True
+
+    def test_occurrence_counters_persist_across_swaps(self):
+        schedule = FaultSchedule(7, ChaosSpec())
+        schedule.decide("a>b", "k")      # occurrence 0 consumed
+        spec = ChaosSpec(drop=0.5)
+        schedule.set_spec(spec, "a>b")
+        swapped = schedule.decide("a>b", "k")
+        # the post-swap decision is peek(occurrence=1) under the new
+        # spec: hash material never depends on when the swap happened
+        fresh = FaultSchedule(7, ChaosSpec())
+        fresh.set_spec(spec, "a>b")
+        assert swapped == fresh.peek("a>b", "k", 1)
+
+
+class TestProxyChannelSurface:
+    """The socket-free orchestration surface of a proxy."""
+
+    def test_direction_labels_and_channel(self):
+        backend, _, _, proxy = _proxied(ChaosSpec())
+        assert proxy.channel == (A_ADDR, B_ADDR)
+        assert proxy.direction(A_ADDR, B_ADDR) == f"{A_ADDR}>{B_ADDR}"
+        assert proxy.direction(B_ADDR, A_ADDR) == f"{B_ADDR}>{A_ADDR}"
+        with pytest.raises(KeyError):
+            proxy.direction(A_ADDR, "10.9.9.9")
+
+    def test_set_spec_routes_to_the_schedule(self):
+        backend, _, _, proxy = _proxied(ChaosSpec())
+        proxy.set_spec(ChaosSpec(drop=1.0), proxy.direction(A_ADDR, B_ADDR))
+        assert proxy._schedule.spec_for(f"{A_ADDR}>{B_ADDR}").drop == 1.0
+        assert proxy._schedule.spec_for(f"{B_ADDR}>{A_ADDR}").drop == 0.0
+
+    def test_crashed_destination_counts_unroutable(self):
+        backend, a, b, proxy = _proxied(ChaosSpec())
+
+        async def run():
+            await backend.start()
+            await proxy.start()
+            try:
+                backend.fabric.crash_node(B_ADDR)
+                a.query(B_ADDR, "void.example.")
+                await _wait_until(lambda: proxy.stats.unroutable == 1)
+                assert b.received == []
+                assert proxy.stats.forwarded == 0
+            finally:
+                proxy.close()
+                await backend.aclose()
+
+        asyncio.run(run())
+
+
 def _proxied(spec: ChaosSpec, seed: int = 5):
     backend = UdpBackend(seed=seed)
     a = Collector(A_ADDR)

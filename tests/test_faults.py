@@ -316,3 +316,93 @@ class TestFaultSerialization:
         injector = FaultInjector(net)
         with pytest.raises(TypeError):
             injector.add(object())
+
+
+class TestOutageExpansion:
+    """The shared flap expansion both chaos backends schedule from."""
+
+    def test_period_defaults_to_twice_duration(self):
+        from repro.netsim.faults import outage_period
+
+        assert outage_period(NodeOutage(address=B_ADDR, at=1.0, duration=0.5)) == 1.0
+        assert outage_period(
+            NodeOutage(address=B_ADDR, at=1.0, duration=0.5, period=3.0)
+        ) == 3.0
+
+    def test_nominal_grid_without_jitter(self):
+        import random
+
+        from repro.netsim.faults import expand_outage
+
+        spec = NodeOutage(address=B_ADDR, at=1.0, duration=0.5, flaps=3, period=2.0)
+        pairs = expand_outage(spec, random.Random(0))
+        assert pairs == [(1.0, 1.5), (3.0, 3.5), (5.0, 5.5)]
+
+    def test_clamped_pair_is_skipped_not_collapsed(self):
+        # an outage entirely in the past clamps to (now, now): scheduling
+        # a crash and a recover at the same instant would leave the
+        # node's final state to event-queue tie-breaking, so the pair
+        # must be skipped outright
+        import random
+
+        from repro.netsim.faults import expand_outage
+
+        spec = NodeOutage(address=B_ADDR, at=1.0, duration=0.5, flaps=3, period=2.0)
+        pairs = expand_outage(spec, random.Random(0), now=2.0)
+        assert pairs == [(3.0, 3.5), (5.0, 5.5)]
+        for down_at, up_at in pairs:
+            assert up_at > down_at
+
+    def test_skipped_pairs_still_consume_jitter_draws(self):
+        # the clamp must not shift later flaps' RNG draws: expanding with
+        # now=0 and now far into the schedule agree on the surviving tail
+        import random
+
+        from repro.netsim.faults import expand_outage
+
+        spec = NodeOutage(
+            address=B_ADDR, at=1.0, duration=0.5, flaps=4, period=2.0, jitter=0.2
+        )
+        full = expand_outage(spec, random.Random(11))
+        clamped = expand_outage(spec, random.Random(11), now=4.0)
+        surviving = [p for p in full if p[1] > 4.0 and max(p[0], 4.0) < p[1]]
+        assert clamped == [(max(d, 4.0), u) for d, u in surviving]
+
+    def test_injector_mid_run_outage_in_the_past_is_safe(self):
+        sim, net, a, b = make_net()
+        injector = FaultInjector(net)
+
+        def late_add():
+            injector.add_node_outage(
+                NodeOutage(address=B_ADDR, at=0.0, duration=1.0)
+            )
+
+        sim.schedule_at(5.0, late_add)  # whole window already elapsed
+        sim.run()
+        assert b.up is True
+        assert injector.stats.crashes == 0
+        assert injector.stats.recoveries == 0
+
+
+class TestFaultSpan:
+    def test_empty_schedule_has_no_span(self):
+        from repro.netsim.faults import fault_span
+
+        assert fault_span([]) is None
+
+    def test_envelope_covers_every_fault_kind(self):
+        from repro.netsim.faults import fault_span
+
+        faults = [
+            Partition(a=A_ADDR, b=B_ADDR, start=3.0, end=6.0),
+            LinkDegradation(src=A_ADDR, dst=B_ADDR, start=2.0, end=5.0, loss=0.1),
+            NodeOutage(address=B_ADDR, at=4.0, duration=1.0, flaps=3, period=2.0),
+        ]
+        # the flapping outage ends at 4 + 2*2 + 1 = 9
+        assert fault_span(faults) == (2.0, 9.0)
+
+    def test_span_ignores_jitter_by_design(self):
+        from repro.netsim.faults import fault_span
+
+        jittered = NodeOutage(address=B_ADDR, at=2.0, duration=1.0, jitter=0.5)
+        assert fault_span([jittered]) == (2.0, 3.0)

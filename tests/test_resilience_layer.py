@@ -86,6 +86,54 @@ class TestDeadlineBudget:
         # most -- nowhere near the 4 transmissions the retry budget allows.
         assert topo.resolver.stats.query_timeouts <= 2
 
+    def test_max_resolution_time_bounds_requests_without_overload(self):
+        # Regression (ce-a463651009f01cfb): with no overload controller,
+        # requests used to carry no deadline at all, so RTO backoff
+        # against dead servers could keep one task tree alive for tens
+        # of seconds.  The config-level wall must arm the deadline even
+        # in a vanilla (overload=None) resolver.
+        topo = build_topology(ResolverConfig(
+            query_timeout=0.4,
+            max_retries=5,
+            max_resolution_time=1.0,
+            server_backoff_threshold=0,
+        ))
+        topo.net.detach(TARGET_ANS_ADDR)
+        # bounded by deadline + one in-flight timer, not by the retry
+        # budget: the SERVFAIL must be back well before the ladder ends
+        response = topo.resolve("d.wc.target-domain.", wait=2.5)
+        assert response is not None
+        assert response.rcode == RCode.SERVFAIL
+        assert topo.resolver.stats.deadline_exhausted >= 1
+
+    def test_shorter_overload_deadline_still_wins(self):
+        topo = build_topology(ResolverConfig(
+            query_timeout=0.4,
+            max_retries=3,
+            max_resolution_time=30.0,
+            overload=OverloadConfig(
+                high_watermark=100, low_watermark=50, request_deadline=0.5
+            ),
+        ))
+        topo.net.detach(TARGET_ANS_ADDR)
+        response = topo.resolve("d.wc.target-domain.", wait=5.0)
+        assert response.rcode == RCode.SERVFAIL
+        assert topo.resolver.stats.query_timeouts <= 2
+
+    def test_zero_disables_the_wall(self):
+        topo = build_topology(ResolverConfig(
+            query_timeout=0.4,
+            max_retries=2,
+            max_resolution_time=0.0,
+            server_backoff_threshold=0,
+        ))
+        topo.net.detach(TARGET_ANS_ADDR)
+        response = topo.resolve("d.wc.target-domain.", wait=5.0)
+        assert response.rcode == RCode.SERVFAIL
+        assert topo.resolver.stats.deadline_exhausted == 0
+        # full retry ladder ran: initial send plus both retries timed out
+        assert topo.resolver.stats.query_timeouts >= 3
+
 
 class TestServeStaleFastPath:
     def hardened_config(self):

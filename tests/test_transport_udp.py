@@ -154,6 +154,58 @@ class TestUdpFabric:
         assert isinstance(backend.fabric, Fabric)
         assert backend.fabric.node(AUTH) is auth
 
+    def test_crash_restart_round_trip(self):
+        # supervised lifecycle: crash closes the sockets (queries
+        # blackhole), restart re-binds fresh ports and service resumes
+        backend, auth, client = _backend()
+
+        async def run():
+            await backend.start()
+            try:
+                first = client.query(AUTH, "up1.wc.target-domain.")
+                await _wait_until(lambda: client.response_to(first) is not None)
+                old_addr = backend.fabric.udp_address_if_bound(AUTH)
+                assert old_addr is not None
+
+                backend.fabric.crash_node(AUTH)
+                assert auth.up is False
+                assert backend.fabric.udp_address_if_bound(AUTH) is None
+                dark = client.query(AUTH, "dark.wc.target-domain.")
+                await asyncio.sleep(0.1)
+                assert client.response_to(dark) is None
+
+                backend.fabric.restart_node(AUTH)
+                await _wait_until(lambda: auth.up)
+                new_addr = backend.fabric.udp_address_if_bound(AUTH)
+                assert new_addr is not None and new_addr != old_addr
+                second = client.query(AUTH, "up2.wc.target-domain.")
+                await _wait_until(lambda: client.response_to(second) is not None)
+                assert backend.fabric.stats.extra.get("node_restarts") == 1
+            finally:
+                await backend.aclose()
+
+        asyncio.run(run())
+
+    def test_crash_and_restart_are_idempotent(self):
+        backend, auth, client = _backend()
+
+        async def run():
+            await backend.start()
+            try:
+                backend.fabric.crash_node(AUTH)
+                backend.fabric.crash_node(AUTH)   # already down: no-op
+                backend.fabric.restart_node(AUTH)
+                await _wait_until(lambda: auth.up)
+                backend.fabric.restart_node(AUTH)  # already up: no-op
+                await asyncio.sleep(0.05)
+                assert backend.fabric.stats.extra.get("node_restarts") == 1
+                with pytest.raises(KeyError):
+                    backend.fabric.crash_node("10.9.9.9")
+            finally:
+                await backend.aclose()
+
+        asyncio.run(run())
+
     def test_pacing_sheds_oldest_under_backpressure(self):
         backend, auth, client = _backend()
         backend.fabric.configure_pacing(CLIENT, rate=5.0, burst=1.0, queue_limit=2)

@@ -21,7 +21,7 @@ from tools.reprolint.rules import Finding
 #: every layer name; TOP layers may import anything
 _ALL = frozenset(
     {"util", "sanitize", "_version", "dnscore", "obs", "netsim", "server",
-     "dcc", "transport", "workloads", "measure", "analysis", "fuzz",
+     "dcc", "transport", "chaos", "workloads", "measure", "analysis", "fuzz",
      "experiments", "cli", "__main__", "<root>"}
 )
 
@@ -41,6 +41,11 @@ DEFAULT_CONTRACT: Dict[str, FrozenSet[str]] = {
     # driving the identical scheduler/policing/health modules.
     "transport": frozenset({"server", "netsim", "dnscore", "util", "obs",
                             "sanitize", "_version"}),
+    # chaos orchestrates faults *against* a backend, so it sits above
+    # transport; the layers under test (server/dcc) must never import it
+    # -- they stay chaos-blind on either backend.
+    "chaos": frozenset({"transport", "netsim", "dnscore", "util", "obs",
+                        "sanitize", "_version"}),
     "workloads": frozenset({"dcc", "server", "netsim", "dnscore", "util", "obs",
                             "sanitize", "_version"}),
     "measure": frozenset({"workloads", "server", "netsim", "dnscore", "util",

@@ -42,6 +42,7 @@ SIM_PURE_FRAGMENTS: Tuple[str, ...] = (
     "repro/obs",
     "repro/fuzz",
     "repro/transport",
+    "repro/chaos",
 )
 
 #: files excused from the *wall-clock* half of R1 only.  The asyncio UDP
