@@ -20,6 +20,7 @@ regenerated without writing Python:
     python -m repro lint                 # reprolint over src/ tests/ tools/
     python -m repro live --duration 2 --seed 1  # real-socket smoke (UDP backend)
     python -m repro bench                # perf baseline BENCH_<shortrev>.json
+    python -m repro scale --clients 1000000  # hybrid fluid/packet core
     python -m repro all --scale 0.1      # everything, quick settings
 """
 
@@ -166,6 +167,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="flags forwarded to repro.experiments.bench (--ops, --events, --out-dir)",
     )
 
+    scale = sub.add_parser(
+        "scale",
+        help="million-client hybrid fluid/packet scenario with double-run "
+        "digests per mode and a hybrid-vs-packet verdict gate",
+    )
+    scale.add_argument(
+        "scale_args", nargs=argparse.REMAINDER, metavar="ARGS",
+        help="flags forwarded to repro.experiments.scale "
+        "(--clients, --mode, --runs, --duration, --seed, --out)",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the reprolint static analyzer (rules R1-R9); defaults "
@@ -279,6 +291,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments import chaos_unified
 
         return chaos_unified.main(tokens[1:])
+    if tokens and tokens[0] == "scale":
+        # hybrid fluid/packet million-client runs; owns its own argparse
+        from repro.experiments import scale
+
+        return scale.main(tokens[1:])
     args = _build_parser().parse_args(tokens)
 
     if args.command == "fig2":

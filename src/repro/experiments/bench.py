@@ -100,6 +100,47 @@ def bench_event_loop(events: int = 200_000, fanout: int = 8) -> Dict[str, float]
     }
 
 
+def bench_fluid_tick(ticks: int = 2_000, clients: int = 1_000_000) -> Dict[str, float]:
+    """Fluid-core tick rate at the million-client population.
+
+    Drives ``FluidBridge.advance`` standalone (no event loop) over the
+    scale experiment's fig8-shaped cohort mix against a private token
+    bucket, reporting ticks/sec and simulated client-updates/sec --
+    the number that must stay far above real time for ``repro scale``
+    to hold its wall-clock budget.  Reports ``skipped=1`` when numpy is
+    unavailable.
+    """
+    from repro.fluid import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        return {"skipped": 1.0}
+
+    from repro.fluid import FluidBridge, build_cohorts
+    from repro.util.tokenbucket import TokenBucket
+    from repro.workloads.cohorts import scale_cohort_specs
+
+    sim = Simulator(seed=11)
+    bridge = FluidBridge(sim, tick=0.1)
+    specs = scale_cohort_specs(clients, duration=1e9, zone="bench.", destination="sink")
+    bridge.add_channel("sink", TokenBucket(rate=20_000.0, burst=2_000.0))
+    for cohort in build_cohorts(specs, seed=11):
+        bridge.add_cohort(cohort)
+    bridge.start()
+    now = 0.0
+    start = time.perf_counter()
+    for _ in range(ticks):
+        now += bridge.tick
+        bridge.advance(now)
+    elapsed = time.perf_counter() - start
+    population = bridge.client_count()
+    return {
+        "ticks_per_sec": round(ticks / max(elapsed, 1e-9), 1),
+        "client_updates_per_sec": round(ticks * population / max(elapsed, 1e-9), 1),
+        "ticks": float(ticks),
+        "clients": float(population),
+    }
+
+
 def bench_fig10_quick() -> Dict[str, float]:
     """Wall time of the quick Figure 10 run (stdout swallowed)."""
     from repro.experiments import fig10_overhead
@@ -119,6 +160,7 @@ def run_bench(mopifq_ops: int = 50_000, events: int = 200_000) -> Dict[str, Any]
         "benchmarks": {
             "mopifq": bench_mopifq(mopifq_ops),
             "event_loop": bench_event_loop(events),
+            "fluid_tick": bench_fluid_tick(),
             "fig10_quick": bench_fig10_quick(),
         },
     }

@@ -1,0 +1,290 @@
+"""Fluid cohorts: benign client populations as numpy rate arrays.
+
+A :class:`Cohort` models ``clients`` identical stub clients as a set of
+*slices* -- numpy vectors of per-slice client counts, smoothed RTTs,
+and unserved-query backlogs -- integrated on the bridge's virtual-time
+tick instead of simulated per packet.  A million clients cost a few
+hundred float lanes per tick, which is what lets the fig4/fig8-class
+population scenarios run at paper scale (ROADMAP item 1).
+
+The model is intentionally the *expected value* of the packet path:
+
+- arrivals are deterministic rates (``clients x rate x dt``), not
+  sampled Poisson draws, so a run is a pure function of its inputs and
+  the selfcheck-style double-run digest holds bit-for-bit;
+- the qname mix enters through a closed-form cache-miss ratio: fresh
+  wildcard / NXDOMAIN traffic misses always, while a zipf-weighted name
+  pool uses the standard per-name hit estimate ``lambda_i * ttl / (1 +
+  lambda_i * ttl)`` (a Che-approximation simplification for TTL-bound
+  DNS caches);
+- unserved misses age in a backlog that expires at the client request
+  timeout, mirroring :class:`repro.workloads.clients.StubClient` giving
+  up after ``request_timeout``.
+
+No numpy RNG is used anywhere in the fluid layer (reprolint R1/R7:
+randomness must flow from seeded ``random.Random`` streams); the only
+nondeterminism budget is float arithmetic, which is fixed for a given
+numpy build and covered by the double-run digest gate in CI.
+
+``numpy`` itself is imported defensively: the dataclasses in this
+module stay importable (for serialization) without it, and only
+constructing a runtime :class:`Cohort` demands the array backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+try:  # tier-1 must collect without numpy (conftest skips fluid tests)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less hosts
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+
+def require_numpy() -> None:
+    """Fail loudly where a runtime fluid object is built without numpy."""
+    if _np is None:
+        raise RuntimeError(
+            "repro.fluid needs numpy for its vectorized cohort state; "
+            "install the package extras (pip install -e .) or keep the "
+            "scenario packet-only"
+        )
+
+
+@dataclass
+class CohortSpec:
+    """One benign population, serializable (rides in FuzzScenario).
+
+    ``pattern`` mirrors the packet-level client patterns: ``WC`` and
+    ``NX`` are cache-bypassing (miss ratio 1.0), ``WC_POOL`` draws from
+    a zipf-weighted pool of ``pool_size`` repeatable names.  ``zone``
+    is the qname suffix promoted packet clients will query;
+    ``destination`` is the authoritative address whose channel absorbs
+    this cohort's cache misses ("" = let the harness resolve it from
+    the zone).
+    """
+
+    name: str
+    clients: int
+    rate: float  # per-client requests/second
+    zone: str
+    destination: str = ""
+    start: float = 0.0
+    stop: float = 60.0
+    pattern: str = "WC"
+    pool_size: int = 512
+    zipf_s: float = 1.0
+    ttl: float = 30.0
+    slices: int = 16
+    #: client-observed latency of an uncongested resolution (seconds)
+    base_rtt: float = 0.004
+    #: client request timeout: backlog older than this expires
+    timeout: float = 2.0
+    #: may the promotion controller materialize this cohort's slices?
+    promotable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.clients < 0:
+            raise ValueError(f"clients must be >= 0, got {self.clients}")
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.slices <= 0:
+            raise ValueError(f"slices must be positive, got {self.slices}")
+        if self.pattern not in ("WC", "NX", "WC_POOL"):
+            raise ValueError(f"unknown fluid pattern {self.pattern!r}")
+
+    @property
+    def aggregate_rate(self) -> float:
+        return self.clients * self.rate
+
+
+def pool_miss_ratio(total_rate: float, pool_size: int, zipf_s: float, ttl: float) -> float:
+    """Expected cache-miss ratio of zipf traffic over a TTL-bound cache.
+
+    Name ``i`` (1-based) carries probability ``i^-s / H`` of each
+    arrival; with per-name arrival rate ``lambda_i`` a TTL cache holds
+    it a fraction ``lambda_i*ttl / (1 + lambda_i*ttl)`` of the time, so
+    the miss ratio is the weighted sum of ``1 / (1 + lambda_i*ttl)``.
+    """
+    require_numpy()
+    if pool_size <= 0 or ttl <= 0 or total_rate <= 0:
+        return 1.0
+    ranks = _np.arange(1, pool_size + 1, dtype=_np.float64)
+    weights = ranks ** (-float(zipf_s))
+    weights /= weights.sum()
+    lam = total_rate * weights
+    return float((weights / (1.0 + lam * ttl)).sum())
+
+
+class Cohort:
+    """Runtime state of one fluid cohort, vectorized over slices.
+
+    The bridge drives the two-phase tick: :meth:`begin_tick` turns the
+    elapsed window into per-slice upstream demand (new cache misses plus
+    carried backlog) and :meth:`settle` applies the channel's grant
+    share, expiring what outlived the client timeout.  Promotion moves
+    whole clients between the fluid count and the materialized count;
+    the backlog stays with the fluid remainder so the conservation
+    ledger (offered == hits + upstream + timeouts + backlog) holds at
+    every tick boundary.
+    """
+
+    __slots__ = (
+        "spec",
+        "seed",
+        "active",
+        "promoted",
+        "srtt",
+        "backlog",
+        "offered",
+        "hits",
+        "upstream",
+        "timeouts",
+        "miss_ratio",
+        "_demand",
+        "_granted",
+    )
+
+    #: per-tick SRTT smoothing gain (RFC 6298's alpha)
+    SRTT_GAIN = 0.125
+
+    def __init__(self, spec: CohortSpec, seed: int) -> None:
+        require_numpy()
+        self.spec = spec
+        self.seed = seed
+        n = spec.slices
+        base, rem = divmod(spec.clients, n)
+        counts = _np.full(n, float(base))
+        counts[:rem] += 1.0
+        #: clients currently modeled as fluid (promotion subtracts)
+        self.active = counts
+        #: clients currently materialized as packet-level objects
+        self.promoted = _np.zeros(n)
+        self.srtt = _np.full(n, spec.base_rtt)
+        #: unserved cache-miss queries waiting on the channel
+        self.backlog = _np.zeros(n)
+        # lifetime accumulators (queries)
+        self.offered = _np.zeros(n)
+        self.hits = _np.zeros(n)
+        self.upstream = _np.zeros(n)
+        self.timeouts = _np.zeros(n)
+        if spec.pattern == "WC_POOL":
+            self.miss_ratio = pool_miss_ratio(
+                spec.aggregate_rate, spec.pool_size, spec.zipf_s, spec.ttl
+            )
+        else:
+            self.miss_ratio = 1.0
+        self._demand = _np.zeros(n)
+        self._granted = _np.zeros(n)
+
+    # ------------------------------------------------------------------
+    # tick integration (driven by FluidBridge)
+    # ------------------------------------------------------------------
+    def begin_tick(self, t0: float, t1: float) -> float:
+        """Accrue arrivals over [t0, t1); returns total upstream demand."""
+        overlap = min(self.spec.stop, t1) - max(self.spec.start, t0)
+        if overlap > 0.0:
+            offered_new = self.active * (self.spec.rate * overlap)
+            hits = offered_new * (1.0 - self.miss_ratio)
+            self.offered += offered_new
+            self.hits += hits
+            self._demand = self.backlog + (offered_new - hits)
+        else:
+            self._demand = self.backlog.copy()
+        return float(self._demand.sum())
+
+    def settle(self, share: float, queue_delay: float) -> None:
+        """Apply the channel's grant ``share`` in [0, 1] for this tick."""
+        granted = self._demand * share
+        self.upstream += granted
+        remainder = self._demand - granted
+        # Backlog deeper than `timeout` seconds of miss demand has, by
+        # Little's law, been waiting longer than a StubClient would:
+        # those queries expire as client timeouts.
+        cap = self.active * (self.spec.rate * self.miss_ratio * self.spec.timeout)
+        kept = _np.minimum(remainder, cap)
+        self.timeouts += remainder - kept
+        self.backlog = kept
+        latency = self.spec.base_rtt + queue_delay
+        self.srtt += self.SRTT_GAIN * (latency - self.srtt)
+        self._granted = granted
+
+    # ------------------------------------------------------------------
+    # promotion bookkeeping
+    # ------------------------------------------------------------------
+    def promote_clients(self, slice_idx: int, count: int) -> int:
+        """Move up to ``count`` clients of a slice to packet level."""
+        available = int(self.active[slice_idx])
+        took = min(count, available)
+        if took > 0:
+            self.active[slice_idx] -= took
+            self.promoted[slice_idx] += took
+        return took
+
+    def demote_clients(self, slice_idx: int, count: int) -> int:
+        """Return ``count`` materialized clients to the fluid model."""
+        back = min(count, int(self.promoted[slice_idx]))
+        if back > 0:
+            self.promoted[slice_idx] -= back
+            self.active[slice_idx] += back
+        return back
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def served_total(self) -> float:
+        """Completed resolutions so far (cache hits + upstream grants)."""
+        return float(self.hits.sum() + self.upstream.sum())
+
+    def granted_last_tick(self, slice_idx: int) -> float:
+        return float(self._granted[slice_idx])
+
+    def ledger(self) -> Dict[str, float]:
+        """Conservation snapshot: offered == hits+upstream+timeouts+backlog."""
+        return {
+            "offered": float(self.offered.sum()),
+            "hits": float(self.hits.sum()),
+            "upstream": float(self.upstream.sum()),
+            "timeouts": float(self.timeouts.sum()),
+            "backlog": float(self.backlog.sum()),
+        }
+
+    def digest_line(self) -> str:
+        """Stable per-cohort state line for the tick digest."""
+        led = self.ledger()
+        return (
+            f"{self.spec.name}|{led['offered']:.6f}|{led['hits']:.6f}"
+            f"|{led['upstream']:.6f}|{led['timeouts']:.6f}"
+            f"|{led['backlog']:.6f}|{float(self.srtt.mean()):.9f}"
+            f"|{float(self.active.sum()):.1f}|{float(self.promoted.sum()):.1f}"
+        )
+
+
+def build_cohorts(specs: List[CohortSpec], seed: int) -> List["Cohort"]:
+    """Runtime cohorts with per-cohort sub-seeds (util.derive_seed scheme)."""
+    from repro.util.seeds import derive_seed
+
+    cohorts = []
+    names = set()
+    for spec in specs:
+        if spec.name in names:
+            raise ValueError(f"duplicate cohort name {spec.name!r}")
+        names.add(spec.name)
+        cohorts.append(Cohort(spec, derive_seed(seed, "cohort", spec.name)))
+    return cohorts
+
+
+def slice_key(cohort_name: str, slice_idx: int) -> str:
+    """Sketch/promotion key of one cohort slice."""
+    return f"{cohort_name}/{slice_idx}"
+
+
+def parse_slice_key(key: str) -> Optional[tuple]:
+    """Inverse of :func:`slice_key`; None for foreign (packet) keys."""
+    name, sep, idx = key.rpartition("/")
+    if not sep or not idx.isdigit():
+        return None
+    return name, int(idx)

@@ -19,6 +19,7 @@ import random
 from typing import List
 
 from repro.netsim.faults import FaultSpec, LinkDegradation, NodeOutage, Partition
+from repro.util.seeds import derive_seed as _derive_seed
 from repro.workloads.zonegen import graph_server_addr, random_zone_specs
 
 from repro.fuzz.scenario import (
@@ -175,11 +176,14 @@ def _draw_faults(
 
 
 def derive_seed(master_seed: int, iteration: int) -> int:
-    """Stable per-iteration sub-seed (independent of Python's hash)."""
-    import hashlib
+    """Stable per-iteration sub-seed (independent of Python's hash).
 
-    digest = hashlib.sha256(f"{master_seed}:{iteration}".encode("ascii")).digest()
-    return int.from_bytes(digest[:8], "big")
+    Now a thin alias for :func:`repro.util.seeds.derive_seed`, which
+    generalized this scheme for the fluid layer's promotion sub-seeds;
+    bit-compatible with the original local implementation, so historic
+    corpus files and verdict digests replay unchanged.
+    """
+    return _derive_seed(master_seed, iteration)
 
 
 def scenario_for(master_seed: int, iteration: int) -> FuzzScenario:

@@ -103,15 +103,31 @@ class NoCrashOracle(Oracle):
 
 
 class ConservationOracle(Oracle):
-    """SimSan (heap/token/occupancy checks) and MOPI-FQ's structural
-    invariants hold for the whole run."""
+    """SimSan (heap/token/occupancy checks), MOPI-FQ's structural
+    invariants, and the fluid ledger's query conservation hold for the
+    whole run."""
 
     name = "conservation"
 
+    #: allowed |offered - (hits + upstream + timeouts + backlog)| per
+    #: offered query -- pure float-summation slack, orders of magnitude
+    #: above what healthy runs show (~1e-12 relative)
+    FLUID_TOLERANCE = 1e-6
+
     def check(self, scenario, obs):
-        return [f"simsan: {v}" for v in obs.simsan_violations] + [
+        out = [f"simsan: {v}" for v in obs.simsan_violations] + [
             f"scheduler: {v}" for v in obs.scheduler_errors
         ]
+        ledger = obs.fluid_ledger
+        if ledger:
+            budget = self.FLUID_TOLERANCE * max(1.0, ledger.get("offered", 0.0))
+            residual = ledger.get("residual", 0.0)
+            if abs(residual) > budget:
+                out.append(
+                    f"fluid ledger leaks queries: residual {residual:g} exceeds "
+                    f"{budget:g} (offered {ledger.get('offered', 0.0):g})"
+                )
+        return out
 
 
 class TerminationOracle(Oracle):

@@ -161,6 +161,13 @@ class FuzzObservations:
     breaker_transitions: List[BreakerTransition] = field(default_factory=list)
     resolver_pending_after_drain: int = 0
     resolver_stats: Dict[str, int] = field(default_factory=dict)
+    #: aggregate fluid conservation ledger (empty = no cohorts ran);
+    #: offered == hits + upstream + timeouts + backlog up to the
+    #: residual, which the conservation oracle bounds
+    fluid_ledger: Dict[str, float] = field(default_factory=dict)
+    #: the bridge's per-tick state digest ("" = no cohorts ran)
+    fluid_digest: str = ""
+    fluid_ticks: int = 0
 
     def to_dict(self) -> Dict:
         from repro.fuzz.serialize import encode_dataclass
@@ -215,7 +222,8 @@ def run_scenario(
 class _Harness:
     """The built topology, kept together for the collect phase."""
 
-    __slots__ = ("sim", "net", "injector", "graph", "resolver", "shim", "clients")
+    __slots__ = ("sim", "net", "injector", "graph", "resolver", "shim", "clients",
+                 "bridge")
 
     def __init__(self) -> None:
         self.sim: Simulator
@@ -225,6 +233,8 @@ class _Harness:
         self.resolver: RecursiveResolver
         self.shim: Optional[DccShim] = None
         self.clients: Dict[str, StubClient] = {}
+        #: fluid background mass, when the scenario carries cohorts
+        self.bridge = None
 
 
 def _build(scenario: FuzzScenario, inject_bug: Optional[str]) -> _Harness:
@@ -347,7 +357,52 @@ def _build(scenario: FuzzScenario, inject_bug: Optional[str]) -> _Harness:
         )
         h.net.attach(attacker)
         h.clients["__adversary__"] = attacker
+
+    if scenario.fluid_cohorts:
+        _build_fluid(scenario, h)
     return h
+
+
+def _build_fluid(scenario: FuzzScenario, h: _Harness) -> None:
+    """Mount the scenario's fluid cohorts on the hybrid core.
+
+    Channel buckets come from the DCC scheduler when the shim is on
+    (fluid load then contends with packet flows for the same tokens),
+    otherwise each destination gets a private bucket at the scenario's
+    channel capacity.  Raises (-> the no-crash oracle) when numpy is
+    missing; the default generator never draws cohorts, so only
+    explicitly-fluid scenarios ever take this path.
+    """
+    from repro.fluid import FluidBridge, build_cohorts, require_numpy
+    from repro.util.tokenbucket import TokenBucket
+
+    require_numpy()
+    bridge = FluidBridge(h.sim, stop_at=scenario.duration + scenario.grace)
+    capacity = scenario.dcc.channel_capacity
+    for spec in scenario.fluid_cohorts:
+        if spec.destination not in bridge.channels:
+            if h.shim is not None:
+                bucket = h.shim.scheduler.channel_bucket(spec.destination)
+            else:
+                bucket = TokenBucket(rate=capacity, burst=max(1.0, capacity * 0.1))
+            bridge.add_channel(spec.destination, bucket)
+    for cohort in build_cohorts(scenario.fluid_cohorts, scenario.seed):
+        bridge.add_cohort(cohort)
+    if h.resolver.overload is not None:
+        bridge.pressure_sinks.append(_FluidPressure(h.resolver).push)
+    h.bridge = bridge
+
+
+class _FluidPressure:
+    """Bound-method pressure sink (reprolint R4: no closures on ticks)."""
+
+    __slots__ = ("resolver",)
+
+    def __init__(self, resolver: RecursiveResolver) -> None:
+        self.resolver = resolver
+
+    def push(self, now: float, backlog: float) -> None:
+        self.resolver.overload.external_pressure = backlog
 
 
 def _build_resolver(scenario: FuzzScenario) -> RecursiveResolver:
@@ -419,6 +474,8 @@ def _run(scenario: FuzzScenario, h: _Harness, obs: FuzzObservations) -> None:
     )
     for client in h.clients.values():
         client.start()
+    if h.bridge is not None:
+        h.bridge.start()
     obs.event_cap = _event_cap(scenario)
     h.sim.run(until=scenario.duration + scenario.grace, max_events=obs.event_cap)
     # Liveness drain: traffic has stopped; anything still pending after
@@ -444,6 +501,10 @@ def _collect(scenario: FuzzScenario, h: _Harness, obs: FuzzObservations) -> None
             h.shim.scheduler.check_invariants()
         except AssertionError as exc:
             obs.scheduler_errors.append(str(exc))
+    if h.bridge is not None:
+        obs.fluid_ledger = h.bridge.ledger()
+        obs.fluid_digest = h.bridge.digest()
+        obs.fluid_ticks = h.bridge.ticks
 
     adversary = scenario.adversary
     attacked = adversary.strategy != "none"

@@ -34,6 +34,10 @@ from repro.netsim.faults import (
     schedule_from_dicts,
     schedule_to_dicts,
 )
+# Also anchors the ``List[CohortSpec]`` hint for decode_dataclass; the
+# spec is plain-dataclass data, so scenarios stay serializable (and
+# runnable, modulo a skip) without numpy.
+from repro.fluid.cohort import CohortSpec
 from repro.workloads.zonegen import ZoneNodeSpec
 
 from repro.fuzz.serialize import decode_dataclass
@@ -119,6 +123,10 @@ class FuzzScenario:
     dcc: DccKnobs = field(default_factory=DccKnobs)
     client_timeout: float = 1.5
     client_attempts: int = 1
+    #: fluid background mass riding the hybrid core (empty = pure
+    #: packet scenario; the default generator does not draw these, so
+    #: corpus digests stay numpy-independent)
+    fluid_cohorts: List[CohortSpec] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # round-trip serialization
@@ -167,6 +175,7 @@ class FuzzScenario:
             len(self.zones) * 4
             + len(self.clients) * 2
             + len(self.faults) * 2
+            + len(self.fluid_cohorts) * 2
             + (0 if self.adversary.strategy == "none" else 2)
             + sum(spec.leaf_names + spec.chain_len for spec in self.zones)
             + int(self.duration)

@@ -103,18 +103,30 @@ class OverloadController:
         self.shedding = False
         #: observability facade (counters only: no clock in here)
         self.obs = NULL_OBS
+        #: load carried by aggregate (fluid) traffic models, in
+        #: pending-request equivalents: added to every watermark
+        #: comparison so admission control reacts to background load
+        #: that never materializes as table entries (docs/SCALING.md).
+        #: Zero (the default) leaves behaviour bit-identical.
+        self.external_pressure = 0.0
+
+    def _effective(self, pending: int) -> float:
+        if self.external_pressure <= 0.0:
+            return float(pending)
+        return pending + self.external_pressure
 
     # ------------------------------------------------------------------
     # state
     # ------------------------------------------------------------------
     def observe(self, pending: int) -> None:
         """Update the hysteresis state from the current table size."""
-        if not self.shedding and pending >= self.config.high_watermark:
+        effective = self._effective(pending)
+        if not self.shedding and effective >= self.config.high_watermark:
             self.shedding = True
             self.stats.shed_engagements += 1
             if self.obs.enabled:
                 self.obs.inc("overload.engagements")
-        elif self.shedding and pending <= self.config.low_watermark:
+        elif self.shedding and effective <= self.config.low_watermark:
             self.shedding = False
 
     def pressure(self, pending: int) -> bool:
@@ -143,7 +155,7 @@ class OverloadController:
             if self.obs.enabled:
                 self.obs.inc("overload.shed_suspected")
             return False
-        if pending >= self.config.high_watermark:
+        if self._effective(pending) >= self.config.high_watermark:
             self.stats.shed_requests += 1
             if self.obs.enabled:
                 self.obs.inc("overload.shed_requests")

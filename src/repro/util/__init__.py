@@ -16,10 +16,14 @@ scheduler and the simulation substrate are built on:
   :class:`repro.util.tokenbucket.WindowedCounter` -- rate-limiting
   primitives shared by the server-side limiter tables and DCC's
   per-channel capacity control.
+- :func:`repro.util.seeds.derive_seed` -- hash-based sub-seed
+  derivation shared by the fuzzer's iteration streams and the fluid
+  layer's promotion sub-seeds.
 """
 
 from repro.util.ordmap import OrderedMap
 from repro.util.ringbuf import RingBuffer
+from repro.util.seeds import derive_seed
 from repro.util.sliding import SlidingWindowCounter, SlidingWindowRatio
 from repro.util.tokenbucket import TokenBucket, WindowedCounter
 
@@ -30,4 +34,5 @@ __all__ = [
     "SlidingWindowRatio",
     "TokenBucket",
     "WindowedCounter",
+    "derive_seed",
 ]

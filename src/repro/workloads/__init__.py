@@ -34,6 +34,13 @@ from repro.workloads.zonegen import (
 from repro.workloads.clients import StubClient, ClientConfig, RequestRecord
 from repro.workloads.schedule import ClientSpec, TABLE2_SCENARIOS, table2_clients
 from repro.workloads.realistic import ZipfPattern, TracePattern, zipf_catalogue
+from repro.workloads.cohorts import (
+    CohortSpec,
+    SliceMaterializer,
+    packet_cohort_clients,
+    promoted_address,
+    scale_cohort_specs,
+)
 
 __all__ = [
     "QueryPattern",
@@ -55,4 +62,9 @@ __all__ = [
     "ZipfPattern",
     "TracePattern",
     "zipf_catalogue",
+    "CohortSpec",
+    "SliceMaterializer",
+    "packet_cohort_clients",
+    "promoted_address",
+    "scale_cohort_specs",
 ]

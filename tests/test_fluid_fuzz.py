@@ -1,0 +1,100 @@
+"""Fluid cohorts riding fuzz scenarios: round-trip, runner, oracle."""
+
+import random
+
+from repro.fluid.cohort import CohortSpec
+from repro.fuzz.generate import generate_scenario
+from repro.fuzz.oracles import ConservationOracle
+from repro.fuzz.runner import FuzzObservations, run_scenario
+from repro.fuzz.scenario import FuzzScenario
+
+
+def fluid_scenario(seed=7, dcc=False):
+    scenario = generate_scenario(random.Random(f"fuzz:{seed}"), seed=seed)
+    scenario.dcc.enabled = dcc
+    scenario.faults = []  # keep the background mass's channel stable
+    scenario.fluid_cohorts = [
+        CohortSpec(
+            name="background",
+            clients=20_000,
+            rate=0.01,
+            zone=scenario.zones[0].origin,
+            destination="10.0.40.1",
+            stop=scenario.duration,
+            pattern="WC_POOL",
+            pool_size=256,
+        )
+    ]
+    return scenario
+
+
+class TestRoundTrip:
+    def test_fluid_cohorts_survive_serialization(self):
+        scenario = fluid_scenario()
+        rebuilt = FuzzScenario.from_dict(scenario.to_dict())
+        assert rebuilt.canonical_json() == scenario.canonical_json()
+        assert rebuilt.fluid_cohorts == scenario.fluid_cohorts
+
+    def test_cohortless_dict_decodes_to_empty_list(self):
+        # Additive growth: pre-fluid corpus entries lack the key.
+        scenario = generate_scenario(random.Random("fuzz:3"), seed=3)
+        data = scenario.to_dict()
+        del data["fluid_cohorts"]
+        assert FuzzScenario.from_dict(data).fluid_cohorts == []
+
+    def test_cohorts_count_toward_shrinker_size(self):
+        scenario = fluid_scenario()
+        bare = generate_scenario(random.Random("fuzz:7"), seed=7)
+        bare.faults = []
+        assert scenario.size() > bare.size()
+
+
+class TestRunner:
+    def test_run_materializes_bridge_and_conserves(self):
+        obs = run_scenario(fluid_scenario())
+        assert obs.crash is None
+        assert obs.fluid_ticks > 0
+        assert obs.fluid_digest
+        led = obs.fluid_ledger
+        assert led["offered"] > 0.0
+        assert abs(led["residual"]) <= 1e-6 * led["offered"]
+        assert ConservationOracle().check(None, obs) == []
+
+    def test_fluid_digest_deterministic_across_runs(self):
+        a = run_scenario(fluid_scenario())
+        b = run_scenario(fluid_scenario())
+        assert a.fluid_digest == b.fluid_digest
+        assert a.fluid_ledger == b.fluid_ledger
+
+    def test_dcc_run_shares_scheduler_buckets(self):
+        obs = run_scenario(fluid_scenario(dcc=True))
+        assert obs.crash is None
+        assert obs.fluid_ledger["upstream"] > 0.0
+
+    def test_cohortless_scenario_reports_no_fluid(self):
+        scenario = generate_scenario(random.Random("fuzz:3"), seed=3)
+        obs = run_scenario(scenario)
+        assert obs.fluid_ticks == 0
+        assert obs.fluid_digest == ""
+        assert obs.fluid_ledger == {}
+
+
+class TestConservationOracle:
+    def test_flags_leaking_ledger(self):
+        obs = FuzzObservations(
+            fluid_ledger={
+                "offered": 1000.0, "hits": 500.0, "upstream": 400.0,
+                "timeouts": 0.0, "backlog": 0.0, "residual": 100.0,
+            }
+        )
+        findings = ConservationOracle().check(None, obs)
+        assert any("fluid ledger leaks" in f for f in findings)
+
+    def test_tolerates_float_slack(self):
+        obs = FuzzObservations(
+            fluid_ledger={
+                "offered": 1000.0, "hits": 1000.0, "upstream": 0.0,
+                "timeouts": 0.0, "backlog": 0.0, "residual": 1e-9,
+            }
+        )
+        assert ConservationOracle().check(None, obs) == []

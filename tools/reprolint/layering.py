@@ -20,9 +20,9 @@ from tools.reprolint.rules import Finding
 
 #: every layer name; TOP layers may import anything
 _ALL = frozenset(
-    {"util", "sanitize", "_version", "dnscore", "obs", "netsim", "server",
-     "dcc", "transport", "chaos", "workloads", "measure", "analysis", "fuzz",
-     "experiments", "cli", "__main__", "<root>"}
+    {"util", "sanitize", "_version", "dnscore", "obs", "netsim", "fluid",
+     "server", "dcc", "transport", "chaos", "workloads", "measure",
+     "analysis", "fuzz", "experiments", "cli", "__main__", "<root>"}
 )
 
 #: the intended DAG: layer -> layers it may import (itself always allowed)
@@ -33,6 +33,12 @@ DEFAULT_CONTRACT: Dict[str, FrozenSet[str]] = {
     "dnscore": frozenset({"util", "sanitize", "_version"}),
     "obs": frozenset({"util", "dnscore", "sanitize", "_version"}),
     "netsim": frozenset({"util", "dnscore", "obs", "sanitize", "_version"}),
+    # the hybrid fluid/packet core: util <- dnscore <- obs <- netsim <-
+    # fluid.  Nothing below it may import it -- the packet substrate
+    # stays fluid-blind, and the coupling (shared token buckets,
+    # overload pressure sinks) is injected from above (docs/SCALING.md).
+    "fluid": frozenset({"netsim", "dnscore", "util", "obs", "sanitize",
+                        "_version"}),
     "server": frozenset({"netsim", "dnscore", "util", "obs", "sanitize", "_version"}),
     "dcc": frozenset({"netsim", "dnscore", "util", "obs", "sanitize", "_version"}),
     # transport sits *above* server (its query engine reuses the RFC 6298
@@ -46,13 +52,13 @@ DEFAULT_CONTRACT: Dict[str, FrozenSet[str]] = {
     # -- they stay chaos-blind on either backend.
     "chaos": frozenset({"transport", "netsim", "dnscore", "util", "obs",
                         "sanitize", "_version"}),
-    "workloads": frozenset({"dcc", "server", "netsim", "dnscore", "util", "obs",
-                            "sanitize", "_version"}),
+    "workloads": frozenset({"fluid", "dcc", "server", "netsim", "dnscore",
+                            "util", "obs", "sanitize", "_version"}),
     "measure": frozenset({"workloads", "server", "netsim", "dnscore", "util",
                           "obs", "sanitize", "_version"}),
     "analysis": frozenset({"obs", "util", "dnscore", "sanitize", "_version"}),
-    "fuzz": frozenset({"workloads", "dcc", "server", "netsim", "dnscore",
-                       "util", "obs", "sanitize", "_version"}),
+    "fuzz": frozenset({"workloads", "fluid", "dcc", "server", "netsim",
+                       "dnscore", "util", "obs", "sanitize", "_version"}),
     "experiments": _ALL,
     "cli": _ALL,
     "__main__": _ALL,

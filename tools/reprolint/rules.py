@@ -43,6 +43,7 @@ SIM_PURE_FRAGMENTS: Tuple[str, ...] = (
     "repro/fuzz",
     "repro/transport",
     "repro/chaos",
+    "repro/fluid",
 )
 
 #: files excused from the *wall-clock* half of R1 only.  The asyncio UDP
